@@ -1,0 +1,129 @@
+//===- bench/ablation_region.cpp - Design-choice ablations ---------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Ablations for the design choices DESIGN.md calls out:
+//  - zeroing of scanned allocations (paper: required for safety),
+//  - temp-region rotation granularity in cfrac ("every few iterations"),
+//  - the moss two-region locality split (§5.5),
+//  - GC heap headroom (§1: "garbage collection ... can be very
+//    efficient if the application only uses a fraction of available
+//    memory. When an application needs most of the available memory,
+//    however, performance degrades").
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BumpAllocator.h"
+#include "backend/Models.h"
+#include "gc/GcHeap.h"
+#include "region/Regions.h"
+#include "workloads/Cfrac.h"
+#include "workloads/Moss.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace regions;
+using namespace regions::workloads;
+
+namespace {
+
+void BM_ZeroMemory(benchmark::State &State) {
+  SafetyConfig Cfg = SafetyConfig::safeConfig();
+  Cfg.ZeroMemory = State.range(0) != 0;
+  RegionManager Mgr{Cfg, std::size_t{1} << 30};
+  ScanThunk Thunk = [](void *) -> std::size_t { return 64; };
+  for (auto _ : State) {
+    Region *R = Mgr.newRegion();
+    for (int I = 0; I != 1024; ++I)
+      benchmark::DoNotOptimize(Mgr.allocScanned(R, 64, Thunk));
+    Mgr.deleteRegionRaw(R);
+  }
+  State.SetLabel(Cfg.ZeroMemory ? "zeroing on" : "zeroing off");
+}
+BENCHMARK(BM_ZeroMemory)->Arg(0)->Arg(1);
+
+void BM_CfracRotation(benchmark::State &State) {
+  for (auto _ : State) {
+    RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{1} << 30};
+    RegionModel Mem(Mgr);
+    CfracOptions Opt;
+    Opt.Decimal = "10967535067";
+    Opt.FactorBaseSize = 30;
+    Opt.IterationsPerTempRegion = static_cast<unsigned>(State.range(0));
+    CfracResult R = runCfrac(Mem, Opt);
+    benchmark::DoNotOptimize(R.checksum());
+  }
+  State.SetLabel("iterations per temp region");
+}
+BENCHMARK(BM_CfracRotation)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MossSplit(benchmark::State &State) {
+  for (auto _ : State) {
+    RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{1} << 30};
+    RegionModel Mem(Mgr);
+    MossOptions Opt;
+    Opt.NumDocs = 30;
+    Opt.SplitRegions = State.range(0) != 0;
+    MossResult R = runMoss(Mem, Opt);
+    benchmark::DoNotOptimize(R.TotalMatches);
+  }
+  State.SetLabel(State.range(0) ? "two regions (5.5)" : "one region (slow)");
+}
+BENCHMARK(BM_MossSplit)->Arg(0)->Arg(1);
+
+/// GC cost as a function of heap headroom: growth factor 0.25 means
+/// the collector runs with barely more memory than is live (the
+/// paper's "needs most of the available memory" regime); 4.0 is ample.
+void BM_GcHeadroom(benchmark::State &State) {
+  double Factor = static_cast<double>(State.range(0)) / 4.0;
+  for (auto _ : State) {
+    GcHeap Heap(std::size_t{1} << 28);
+    Heap.setScanMachineStack(true);
+    Heap.captureStackBottom();
+    Heap.setGrowthFactor(Factor);
+    // List churn with a live core: the classic GC workload.
+    struct Node {
+      Node *Next;
+      std::uint64_t Pad[6];
+    };
+    // A live core big enough that every mark phase costs real work:
+    // this is what makes tight heaps expensive (the paper's point).
+    Node *Live = nullptr;
+    for (int I = 0; I != 60000; ++I) { // live core (~3.4 MB)
+      auto *N = static_cast<Node *>(Heap.malloc(sizeof(Node)));
+      N->Next = Live;
+      Live = N;
+    }
+    for (int I = 0; I != 120000; ++I) { // garbage churn
+      auto *N = static_cast<Node *>(Heap.malloc(sizeof(Node)));
+      benchmark::DoNotOptimize(N);
+    }
+    benchmark::DoNotOptimize(Live);
+    State.counters["collections"] =
+        static_cast<double>(Heap.gcStats().Collections);
+  }
+  State.SetLabel("growth factor x4");
+}
+BENCHMARK(BM_GcHeadroom)->Arg(1)->Arg(4)->Arg(16);
+
+/// Region-header cache offsetting is baked into newRegion (64-byte
+/// steps); this measures region creation/deletion throughput, which is
+/// where the offsets matter.
+void BM_RegionChurn(benchmark::State &State) {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{1} << 30};
+  for (auto _ : State) {
+    Region *Rs[16];
+    for (auto *&R : Rs) {
+      R = Mgr.newRegion();
+      Mgr.allocRaw(R, 100);
+    }
+    for (auto *&R : Rs)
+      Mgr.deleteRegionRaw(R);
+  }
+  State.SetItemsProcessed(State.iterations() * 16);
+}
+BENCHMARK(BM_RegionChurn);
+
+} // namespace
+
+BENCHMARK_MAIN();

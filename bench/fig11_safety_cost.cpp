@@ -1,0 +1,64 @@
+//===- bench/fig11_safety_cost.cpp - Figure 11: cost of safety -----------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Regenerates Figure 11: the overhead of safe regions over unsafe
+// regions, attributed to its three components — cleanup functions,
+// stack scanning, and reference-count maintenance — by toggling each
+// SafetyConfig feature independently and differencing the times.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TableWriter.h"
+
+using namespace regions;
+using namespace regions::harness;
+using namespace regions::workloads;
+
+int main() {
+  printBanner("Figure 11: cost of safety", "Figure 11");
+
+  WorkloadOptions Opt = defaultOptions();
+  unsigned Repeats = envRepeats();
+
+  TableWriter T({"name", "unsafe ms", "safe ms", "total overhead",
+                 "cleanup ms", "stack scan ms", "refcount ms",
+                 "barrier stores", "sameregion", "scans"});
+  for (WorkloadId W : kAllWorkloads) {
+    double Unsafe =
+        runMedian(W, BackendKind::RegionUnsafe, Opt, Repeats).Millis;
+    RunResult Safe = runMedian(W, BackendKind::RegionSafe, Opt, Repeats);
+
+    auto TimeWithout = [&](bool Cleanup, bool Scan, bool Counts) {
+      WorkloadOptions Partial = Opt;
+      Partial.RegionConfig = SafetyConfig::safeConfig();
+      Partial.RegionConfig.CleanupScan = Cleanup;
+      Partial.RegionConfig.StackScan = Scan;
+      Partial.RegionConfig.RefCounts = Counts;
+      return runMedian(W, BackendKind::RegionSafe, Partial, Repeats).Millis;
+    };
+    double NoCleanup = TimeWithout(false, true, true);
+    double NoScan = TimeWithout(true, false, true);
+    double NoCounts = TimeWithout(true, true, false);
+
+    auto Delta = [&](double Without) {
+      return Safe.Millis > Without ? Safe.Millis - Without : 0.0;
+    };
+    T.addRow({workloadName(W), TableWriter::fmt(Unsafe, 1),
+              TableWriter::fmt(Safe.Millis, 1),
+              TableWriter::fmtPercentOf(Safe.Millis, Unsafe),
+              TableWriter::fmt(Delta(NoCleanup), 1),
+              TableWriter::fmt(Delta(NoScan), 1),
+              TableWriter::fmt(Delta(NoCounts), 1),
+              TableWriter::fmt(Safe.Region.BarrierStores),
+              TableWriter::fmt(Safe.Region.BarrierSameRegion),
+              TableWriter::fmt(Safe.StackScans)});
+  }
+  T.print();
+  std::printf(
+      "\nPaper shape: the cost of safety ranges from negligible (tile) to\n"
+      "~17%% (lcc), dominated by reference counting for pointer-dense\n"
+      "programs; cleanup and stack scanning are small everywhere.\n");
+  return 0;
+}

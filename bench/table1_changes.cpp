@@ -1,0 +1,80 @@
+//===- bench/table1_changes.cpp - Table 1: complexity of changes ---------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Paper Table 1 counts the source lines changed to convert each C
+// benchmark to regions. Our workloads are written once against a
+// memory-model template, so "lines changed" has no direct analog; the
+// closest measurable property is how much region-specific structure
+// each program needs: the number of region API call sites in its
+// source, and the dynamic region behaviour those sites produce. Both
+// are printed here, next to the paper's numbers for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TableWriter.h"
+
+using namespace regions;
+using namespace regions::harness;
+using namespace regions::workloads;
+
+namespace {
+
+/// Region-specific call sites per workload source file (makeRegion /
+/// dropRegion / create / createArray / allocBytes / touch / dispose),
+/// counted from src/workloads/*.h. Regenerate with:
+///   grep -cE 'makeRegion|dropRegion|template create|createArray|allocBytes'
+struct StaticCounts {
+  const char *Name;
+  unsigned RegionCallSites;
+  unsigned SourceLines;
+  unsigned PaperLines;
+  unsigned PaperChanged;
+};
+
+// SourceLines and call sites measured from this repository's workload
+// headers (mudlle and lcc share MudlleWork.h, which also draws on the
+// region logic inside src/mudlle/Compiler.h). The PaperLines column is
+// Table 1's "Lines"; PaperChanged its "Changed lines" (the scan of the
+// paper available to us shows cfrac = 4203/149 clearly; the remaining
+// rows are reconstructed from the table fragments and marked approximate
+// in EXPERIMENTS.md).
+const StaticCounts kCounts[] = {
+    {"cfrac", 13, 351, 4203, 149},
+    {"grobner", 7, 205, 3219, 145},
+    {"mudlle", 4, 143, 4848, 252},
+    {"lcc", 4, 143, 12430, 548},
+    {"tile", 11, 210, 2773, 184},
+    {"moss", 9, 226, 2981, 118},
+};
+
+} // namespace
+
+int main() {
+  printBanner("Table 1: complexity of benchmark changes", "Table 1");
+  std::printf(
+      "The paper measures diff size against the original C sources; our\n"
+      "workloads are single-source templates, so we report the amount of\n"
+      "region-specific structure instead (see DESIGN.md).\n\n");
+
+  WorkloadOptions Opt = defaultOptions();
+  Opt.Scale = std::min(Opt.Scale, 0.3); // dynamic columns only need a probe
+
+  TableWriter T({"name", "region call sites", "workload lines",
+                 "regions created", "deleteregion calls",
+                 "paper lines", "paper changed"});
+  unsigned Idx = 0;
+  for (WorkloadId W : kAllWorkloads) {
+    RunResult R = runWorkload(W, BackendKind::RegionSafe, Opt);
+    const StaticCounts &C = kCounts[Idx++];
+    T.addRow({C.Name, TableWriter::fmt(std::uint64_t{C.RegionCallSites}),
+              TableWriter::fmt(std::uint64_t{C.SourceLines}),
+              TableWriter::fmt(R.TotalRegions),
+              TableWriter::fmt(R.Region.DeleteAttempts),
+              TableWriter::fmt(std::uint64_t{C.PaperLines}),
+              TableWriter::fmt(std::uint64_t{C.PaperChanged})});
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- bench/table3_malloc_stats.cpp - Table 3: allocation w/ malloc -----===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Regenerates Table 3: allocation behaviour of the malloc/free version
+// of every benchmark, including the "(w/o overhead)" rows the paper
+// reports for programs measured through the emulation library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/TableWriter.h"
+
+using namespace regions;
+using namespace regions::harness;
+using namespace regions::workloads;
+
+int main() {
+  printBanner("Table 3: allocation behaviour with malloc", "Table 3");
+
+  WorkloadOptions Opt = defaultOptions();
+  TableWriter T({"name", "total allocs", "total kbytes", "max kbytes"});
+  for (WorkloadId W : kAllWorkloads) {
+    RunResult R = runWorkload(W, BackendKind::Lea, Opt);
+    T.addRow({workloadName(W), TableWriter::fmt(R.TotalAllocs),
+              TableWriter::fmtKb(R.TotalRequestedBytes),
+              TableWriter::fmtKb(R.MaxLiveRequestedBytes)});
+    // The emulation library's per-object list overhead, reported the
+    // way the paper reports "(w/o overhead)" rows.
+    std::uint64_t Net = R.TotalRequestedBytes > R.EmuOverheadBytes
+                            ? R.TotalRequestedBytes - R.EmuOverheadBytes
+                            : 0;
+    T.addRow({std::string("  (w/o overhead)"), "",
+              TableWriter::fmtKb(Net), ""});
+  }
+  T.print();
+  std::printf(
+      "\nPaper shape: totals track Table 2 closely (the discrepancies are\n"
+      "the small porting differences the paper discusses in 5.3); max\n"
+      "kbytes is slightly lower than the region version because malloc\n"
+      "frees objects individually rather than at region deletion.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- examples/locality_tuning.cpp - Regions as a locality tool ---------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Reproduces the paper's §5.5 observation on moss: "The 24% improvement
+// in execution time ... is obtained by using two regions: one for the
+// small objects and one for the large objects." Neither malloc/free nor
+// GC gives the programmer any way to express this; regions do.
+//
+// Runs the moss workload both ways and reports wall time and simulated
+// cache stalls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stopwatch.h"
+#include "workloads/Moss.h"
+
+#include <cstdio>
+
+using namespace regions;
+using namespace regions::workloads;
+
+namespace {
+
+struct Outcome {
+  double Millis;
+  CacheSim::Stats Cache;
+  std::uint64_t Checksum;
+};
+
+Outcome run(bool Split) {
+  RegionManager Mgr;
+  CacheSim Cache;
+  RegionModel Mem(Mgr, &Cache);
+  MossOptions Opt;
+  Opt.NumDocs = 60;
+  Opt.SplitRegions = Split;
+
+  Stopwatch Timer;
+  Timer.start();
+  MossResult R = runMoss(Mem, Opt);
+  Timer.stop();
+  return {Timer.millis(), Cache.stats(), R.checksum()};
+}
+
+} // namespace
+
+int main() {
+  std::printf("Tuning data locality with regions (paper 5.5, moss)\n\n");
+  std::printf("moss alternately allocates small hot objects (fingerprint\n"
+              "postings) and larger cold ones (document text). Putting\n"
+              "them in one region interleaves them in memory; two regions\n"
+              "pack the hot objects densely.\n\n");
+
+  Outcome Slow = run(/*Split=*/false);
+  Outcome Fast = run(/*Split=*/true);
+
+  std::printf("%-22s %12s %12s\n", "", "one region", "two regions");
+  std::printf("%-22s %10.1fms %10.1fms\n", "wall time", Slow.Millis,
+              Fast.Millis);
+  std::printf("%-22s %12llu %12llu\n", "simulated L1 misses",
+              static_cast<unsigned long long>(Slow.Cache.L1Misses),
+              static_cast<unsigned long long>(Fast.Cache.L1Misses));
+  std::printf("%-22s %12llu %12llu\n", "simulated L2 misses",
+              static_cast<unsigned long long>(Slow.Cache.L2Misses),
+              static_cast<unsigned long long>(Fast.Cache.L2Misses));
+  std::printf("%-22s %12llu %12llu\n", "simulated stall cycles",
+              static_cast<unsigned long long>(
+                  Slow.Cache.totalStallCycles()),
+              static_cast<unsigned long long>(
+                  Fast.Cache.totalStallCycles()));
+
+  double Gain = (1.0 - Fast.Millis / Slow.Millis) * 100.0;
+  std::printf("\nresults identical: %s; time improvement: %.1f%%\n",
+              Slow.Checksum == Fast.Checksum ? "yes" : "NO (bug!)", Gain);
+  return Slow.Checksum == Fast.Checksum ? 0 : 1;
+}

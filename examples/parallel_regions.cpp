@@ -1,0 +1,112 @@
+//===- examples/parallel_regions.cpp - Regions across threads ------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Demonstrates the paper's §1 parallel extension: threads allocate in
+// private regions without synchronization, publish references through
+// atomic-exchange writes, and keep per-thread local reference counts.
+// A shared region is deletable exactly when the counts sum to zero.
+//
+// The scenario: a producer/consumer pipeline. Producers build result
+// records in their own regions and publish them to a shared mailbox
+// array; the consumer drains mailboxes and retires each producer's
+// region once its results are consumed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Parallel.h"
+#include "region/Regions.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace regions;
+using namespace regions::par;
+
+namespace {
+
+struct Result {
+  int Producer = 0;
+  int Sequence = 0;
+  long Payload = 0;
+};
+
+constexpr int kProducers = 3;
+constexpr int kResultsPerProducer = 5;
+
+} // namespace
+
+int main() {
+  std::printf("Parallel regions (paper 1): local counts + atomic "
+              "exchange\n\n");
+
+  ParallelSpace Space;
+  std::vector<std::unique_ptr<RegionManager>> Managers;
+  for (int P = 0; P != kProducers; ++P)
+    Managers.push_back(std::make_unique<RegionManager>(
+        SafetyConfig::unsafeConfig(), std::size_t{64} << 20));
+
+  std::atomic<Result *> Mailbox[kProducers * kResultsPerProducer] = {};
+  SharedRegion *Shared[kProducers] = {};
+  std::atomic<int> Published{0};
+
+  std::vector<std::thread> Producers;
+  for (int P = 0; P != kProducers; ++P) {
+    Producers.emplace_back([&, P] {
+      unsigned Tid = Space.registerThread();
+      RegionManager &Mgr = *Managers[static_cast<std::size_t>(P)];
+      // Private region: allocation needs no locks at all.
+      Region *R = Mgr.newRegion();
+      SharedRegion *S = Space.share(R);
+      Shared[P] = S;
+      for (int I = 0; I != kResultsPerProducer; ++I) {
+        auto *Rec = rnew<Result>(R);
+        Rec->Producer = P;
+        Rec->Sequence = I;
+        Rec->Payload = static_cast<long>(P) * 1000 + I * I;
+        // Publish with an atomic exchange; the local count adjustment
+        // needs no synchronization (paper's key point).
+        Space.sharedExchange(Mailbox[P * kResultsPerProducer + I], Rec, S,
+                             S, Tid);
+        ++Published;
+      }
+    });
+  }
+  for (auto &T : Producers)
+    T.join();
+
+  std::printf("producers published %d results into shared mailboxes\n",
+              Published.load());
+  for (int P = 0; P != kProducers; ++P)
+    std::printf("  producer %d shared-region count: %lld\n", P,
+                static_cast<long long>(Shared[P]->totalCount()));
+
+  // Consumer: drain the mailboxes, then retire each producer's region.
+  unsigned ConsumerTid = Space.registerThread();
+  long Checksum = 0;
+  for (int P = 0; P != kProducers; ++P) {
+    std::printf("consumer draining producer %d: deletable now? %s\n", P,
+                Space.tryDelete(Shared[P]) ? "yes (bug!)" : "no");
+    for (int I = 0; I != kResultsPerProducer; ++I) {
+      Result *Rec = Space.sharedExchange<Result>(
+          Mailbox[P * kResultsPerProducer + I], nullptr, nullptr,
+          Shared[P], ConsumerTid);
+      Checksum += Rec->Payload;
+    }
+    // The consumer's local count went negative by kResultsPerProducer;
+    // the producer's is positive by the same amount: the sum is zero.
+    bool Deleted = Space.tryDelete(Shared[P]);
+    std::printf("  after draining: sum=%lld, delete: %s\n",
+                static_cast<long long>(
+                    Deleted ? 0 : Shared[P]->totalCount()),
+                Deleted ? "ok" : "REFUSED (bug!)");
+  }
+
+  std::printf("\nchecksum of consumed payloads: %ld\n", Checksum);
+  std::printf("live shared regions at exit: %zu\n",
+              Space.liveSharedRegions());
+  return Space.liveSharedRegions() == 0 ? 0 : 1;
+}

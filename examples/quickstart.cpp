@@ -1,0 +1,114 @@
+//===- examples/quickstart.cpp - First steps with explicit regions -------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Reproduces the paper's two introductory examples:
+//  * Figure 1: a loop allocating arrays in a region, reclaimed with one
+//    deleteregion call;
+//  * Figure 3: copying a list into a temporary region, using it, and
+//    deleting the region — safely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+
+#include <cstdio>
+
+using namespace regions;
+
+namespace {
+
+/// Paper Figure 1: per-iteration arrays, one bulk free.
+void figure1(RegionManager &Mgr) {
+  std::printf("-- Figure 1: arrays in a region --\n");
+  rt::Frame Frame;
+  rt::RegionHandle R = Mgr.newRegion();
+  long Sum = 0;
+  for (int I = 0; I < 10; ++I) {
+    // int *x = ralloc(r, (i + 1) * sizeof(int));
+    int *X = rnewArray<int>(R, static_cast<std::size_t>(I) + 1);
+    for (int J = 0; J <= I; ++J)
+      X[J] = I * J; // work(i, x)
+    Sum += X[I];
+  }
+  std::printf("allocated %zu objects, %zu bytes; work checksum %ld\n",
+              R->allocCount(), R->requestedBytes(), Sum);
+  bool Freed = deleteRegion(R); // deleteregion(&r): frees all arrays
+  std::printf("deleteregion succeeded: %s\n\n", Freed ? "yes" : "no");
+}
+
+/// The list type of paper Figure 3. The Next field is a region pointer
+/// (C@'s `struct list @next`); its writes maintain reference counts.
+struct List {
+  explicit List(int I) : Value(I) {}
+  int Value;
+  RegionPtr<List> Next;
+};
+
+/// copy_list(r, l) from Figure 3 (cons-style recursion).
+List *copyList(Region *R, List *L) {
+  if (!L)
+    return nullptr;
+  List *Copy = rnew<List>(R, L->Value);
+  Copy->Next = copyList(R, L->Next);
+  return Copy;
+}
+
+void figure3(RegionManager &Mgr) {
+  std::printf("-- Figure 3: list copy into a temporary region --\n");
+  rt::Frame Frame;
+  rt::RegionHandle Perm = Mgr.newRegion();
+
+  // Build 1 -> 2 -> ... -> 5 in the permanent region.
+  rt::Ref<List> Head;
+  for (int I = 5; I >= 1; --I) {
+    List *N = rnew<List>(Perm, I);
+    N->Next = Head.get();
+    Head = N;
+  }
+
+  {
+    rt::Frame Inner;
+    rt::RegionHandle Tmp = Mgr.newRegion(); // Region tmp = newregion();
+    rt::Ref<List> Copy = copyList(Tmp, Head);
+
+    std::printf("copy:");
+    for (List *N = Copy; N; N = N->Next)
+      std::printf(" %d", N->Value);
+    std::printf("\n");
+
+    // While Copy is live, the region cannot be deleted (safety!).
+    rt::RegionHandle Alias = Tmp.get();
+    std::printf("delete while list is referenced: %s (refused)\n",
+                deleteRegion(Alias) ? "yes" : "no");
+
+    // Every stale pointer blocks deletion — including the alias handle
+    // itself (the paper notes hunting such stale pointers is the main
+    // debugging chore when adopting regions).
+    Copy = nullptr;
+    Alias = nullptr;
+    std::printf("delete after clearing the stale pointers: %s\n",
+                deleteRegion(Tmp) ? "yes" : "no");
+  }
+
+  // The original list is untouched.
+  std::printf("original:");
+  for (List *N = Head; N; N = N->Next)
+    std::printf(" %d", N->Value);
+  std::printf("\n");
+  Head = nullptr;
+  deleteRegion(Perm);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Explicit regions quickstart (Gay & Aiken, PLDI 1998)\n\n");
+  RegionManager Mgr; // safe regions by default
+  figure1(Mgr);
+  figure3(Mgr);
+  std::printf("live regions at exit: %zu (all reclaimed)\n",
+              Mgr.liveRegionCount());
+  return Mgr.liveRegionCount() == 0 ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+//===- alloc/BestFitAllocator.cpp - Solaris-style best-fit malloc --------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BestFitAllocator.h"
+
+using namespace regions;
+using namespace regions::detail;
+
+char *TreeFreeStructure::findFit(std::size_t Need) {
+  // Ceiling search: smallest node with size >= Need, tracking its
+  // parent so removal needs no second descent.
+  Node *Best = nullptr, *BestParent = nullptr;
+  Node *Cur = Root, *Parent = nullptr;
+  while (Cur) {
+    if (nodeSize(Cur) >= Need) {
+      Best = Cur;
+      BestParent = Parent;
+      if (nodeSize(Cur) == Need)
+        break;
+      Parent = Cur;
+      Cur = Cur->Left;
+    } else {
+      Parent = Cur;
+      Cur = Cur->Right;
+    }
+  }
+  if (!Best)
+    return nullptr;
+  // Prefer a duplicate: unhooking it is O(1).
+  if (Best->Dup) {
+    Node *D = Best->Dup;
+    Best->Dup = D->Dup;
+    return reinterpret_cast<char *>(D);
+  }
+  removeTreeNode(BestParent, Best);
+  return reinterpret_cast<char *>(Best);
+}
+
+void TreeFreeStructure::insert(char *C) {
+  Node *N = asNode(C);
+  N->Left = N->Right = N->Dup = nullptr;
+  std::size_t Size = nodeSize(N);
+  Node *Cur = Root, *Parent = nullptr;
+  while (Cur) {
+    if (nodeSize(Cur) == Size) {
+      // Chain behind the tree node; order within a size is irrelevant.
+      N->Dup = Cur->Dup;
+      Cur->Dup = N;
+      return;
+    }
+    Parent = Cur;
+    Cur = Size < nodeSize(Cur) ? Cur->Left : Cur->Right;
+  }
+  if (!Parent) {
+    Root = N;
+    return;
+  }
+  if (Size < nodeSize(Parent))
+    Parent->Left = N;
+  else
+    Parent->Right = N;
+}
+
+void TreeFreeStructure::remove(char *C) {
+  Node *N = asNode(C);
+  std::size_t Size = nodeSize(N);
+  // Locate the tree node for this size, tracking its parent.
+  Node *Cur = Root, *Parent = nullptr;
+  while (Cur && nodeSize(Cur) != Size) {
+    Parent = Cur;
+    Cur = Size < nodeSize(Cur) ? Cur->Left : Cur->Right;
+  }
+  assert(Cur && "removing a chunk that was never inserted");
+
+  if (Cur == N) {
+    if (Node *D = Cur->Dup) {
+      // Promote the first duplicate into the tree position; D->Dup is
+      // already the rest of the chain.
+      D->Left = Cur->Left;
+      D->Right = Cur->Right;
+      replaceChild(Parent, Cur, D);
+      return;
+    }
+    removeTreeNode(Parent, Cur);
+    return;
+  }
+  // N is somewhere in the duplicate chain.
+  Node *Prev = Cur;
+  while (Prev->Dup != N) {
+    Prev = Prev->Dup;
+    assert(Prev && "chunk missing from its duplicate chain");
+  }
+  Prev->Dup = N->Dup;
+}
+
+void TreeFreeStructure::removeTreeNode(Node *Parent, Node *N) {
+  if (!N->Left) {
+    replaceChild(Parent, N, N->Right);
+    return;
+  }
+  if (!N->Right) {
+    replaceChild(Parent, N, N->Left);
+    return;
+  }
+  // Two children: splice in the in-order successor.
+  Node *SuccParent = N;
+  Node *Succ = N->Right;
+  while (Succ->Left) {
+    SuccParent = Succ;
+    Succ = Succ->Left;
+  }
+  if (SuccParent != N) {
+    SuccParent->Left = Succ->Right;
+    Succ->Right = N->Right;
+  }
+  Succ->Left = N->Left;
+  replaceChild(Parent, N, Succ);
+}

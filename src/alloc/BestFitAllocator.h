@@ -1,0 +1,82 @@
+//===- alloc/BestFitAllocator.h - Solaris-style best-fit malloc -*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "Sun" baseline (§5.2): the default Solaris 2.5.1
+/// allocator, a general-purpose best-fit allocator built on a
+/// self-adjusting size-ordered tree (Sleator/Tarjan style).
+///
+/// Design: boundary-tag chunks (shared with LeaAllocator) indexed by an
+/// unbalanced binary search tree keyed on chunk size, with same-size
+/// chunks chained off one tree node. Allocation is a ceiling search
+/// (true best fit); free coalesces immediately. Tree nodes live inside
+/// the free chunks themselves, so the minimum chunk is larger than
+/// Lea's — one of the reasons the Sun allocator trails Lea on small
+/// objects, as in the paper's measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_BESTFITALLOCATOR_H
+#define ALLOC_BESTFITALLOCATOR_H
+
+#include "alloc/BoundaryTags.h"
+
+namespace regions {
+
+namespace detail {
+
+/// Size-ordered BST free structure with duplicate chains.
+class TreeFreeStructure {
+public:
+  /// Head + {Left,Right,Dup} + footer.
+  static constexpr std::size_t kMinChunkBytes = 48;
+
+  char *findFit(std::size_t Need);
+  void insert(char *C);
+  void remove(char *C);
+
+private:
+  struct Node {
+    std::size_t Head;
+    Node *Left;
+    Node *Right;
+    Node *Dup; ///< same-size chunks, singly linked
+  };
+
+  static Node *asNode(char *C) { return reinterpret_cast<Node *>(C); }
+  static std::size_t nodeSize(const Node *N) {
+    return N->Head & bt::kSizeMask;
+  }
+
+  /// Replaces child \p Old of \p Parent (or the root) with \p New.
+  void replaceChild(Node *Parent, Node *Old, Node *New) {
+    if (!Parent)
+      Root = New;
+    else if (Parent->Left == Old)
+      Parent->Left = New;
+    else
+      Parent->Right = New;
+  }
+
+  /// Standard BST removal of tree node \p N whose parent is \p Parent.
+  void removeTreeNode(Node *Parent, Node *N);
+
+  Node *Root = nullptr;
+};
+
+} // namespace detail
+
+/// Solaris-style best-fit malloc baseline.
+class BestFitAllocator
+    : public BoundaryTagAllocator<detail::TreeFreeStructure> {
+public:
+  using BoundaryTagAllocator::BoundaryTagAllocator;
+  const char *name() const override { return "sun"; }
+};
+
+} // namespace regions
+
+#endif // ALLOC_BESTFITALLOCATOR_H

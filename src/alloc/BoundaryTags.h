@@ -1,0 +1,252 @@
+//===- alloc/BoundaryTags.h - Boundary-tag heap machinery ------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Knuth-style boundary-tag chunks with immediate coalescing, shared by
+/// the "Lea" (dlmalloc-style binned) and "Sun" (best-fit tree) malloc
+/// baselines. The free-structure policy is a template parameter; the
+/// splitting, coalescing, and segment logic live here so both
+/// allocators manage identical chunk layouts:
+///
+///   in use: [Head(8)] [AllocHeader(8)] [payload...]
+///   free:   [Head(8)] [policy node...]        [Footer(8) = size]
+///
+/// Head = chunk size (multiple of 8) | kThisInUse | kPrevInUse. A free
+/// chunk's size is replicated in its last word (the footer) so the
+/// following chunk can find its start for coalescing. Segments end with
+/// a zero-size fence chunk marked in-use so coalescing never crosses a
+/// segment boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_BOUNDARYTAGS_H
+#define ALLOC_BOUNDARYTAGS_H
+
+#include "alloc/MallocInterface.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace regions {
+namespace bt {
+
+inline constexpr std::size_t kThisInUse = 1;
+inline constexpr std::size_t kPrevInUse = 2;
+inline constexpr std::size_t kSizeMask = ~std::size_t{7};
+
+/// In-use chunk overhead: head word + AllocHeader.
+inline constexpr std::size_t kInUseOverhead = 16;
+
+inline std::size_t &head(char *C) {
+  return *reinterpret_cast<std::size_t *>(C);
+}
+inline std::size_t chunkSize(const char *C) {
+  return *reinterpret_cast<const std::size_t *>(C) & kSizeMask;
+}
+inline bool thisInUse(const char *C) {
+  return *reinterpret_cast<const std::size_t *>(C) & kThisInUse;
+}
+inline bool prevInUse(const char *C) {
+  return *reinterpret_cast<const std::size_t *>(C) & kPrevInUse;
+}
+inline bool isFence(const char *C) { return chunkSize(C) == 0; }
+inline char *nextChunk(char *C) { return C + chunkSize(C); }
+
+/// Start of the preceding chunk; valid only when !prevInUse(C).
+inline char *prevChunk(char *C) {
+  return C - *reinterpret_cast<std::size_t *>(C - 8);
+}
+
+/// Replicates a free chunk's size into its footer word.
+inline void writeFooter(char *C) {
+  *reinterpret_cast<std::size_t *>(C + chunkSize(C) - 8) = chunkSize(C);
+}
+
+inline void *payloadOf(char *C) { return C + kInUseOverhead; }
+inline char *chunkOfPayload(void *Payload) {
+  return static_cast<char *>(Payload) - kInUseOverhead;
+}
+
+/// Chunk bytes needed to serve a request of \p Size under \p MinChunk.
+inline std::size_t chunkNeedFor(std::size_t Size, std::size_t MinChunk) {
+  return std::max(MinChunk, kInUseOverhead + alignTo(Size,
+                                                     kDefaultAlignment));
+}
+
+} // namespace bt
+
+/// Boundary-tag allocator parameterized over the free-structure Policy:
+///   struct Policy {
+///     static constexpr std::size_t kMinChunkBytes;
+///     char *findFit(std::size_t Need); // unlink & return a chunk >= Need
+///     void insert(char *C);            // index a free chunk
+///     void remove(char *C);            // unindex a specific free chunk
+///   };
+template <typename Policy>
+class BoundaryTagAllocator : public MallocInterface {
+public:
+  using MallocInterface::MallocInterface;
+
+protected:
+  void *doMalloc(std::size_t Size) override {
+    std::size_t Need = bt::chunkNeedFor(Size, Policy::kMinChunkBytes);
+    char *C = Free.findFit(Need);
+    if (!C)
+      C = newSegment(Need);
+    return take(C, Need);
+  }
+
+  void doFree(void *Payload) override {
+    char *C = bt::chunkOfPayload(Payload);
+    assert(bt::thisInUse(C) && "double free or corrupt chunk");
+    std::size_t Size = bt::chunkSize(C);
+    bool PrevIn = bt::prevInUse(C);
+
+    // Coalesce with the following chunk (the fence is in use).
+    char *N = C + Size;
+    if (!bt::thisInUse(N)) {
+      Free.remove(N);
+      Size += bt::chunkSize(N);
+    }
+    // Coalesce with the preceding chunk.
+    if (!PrevIn) {
+      char *P = bt::prevChunk(C);
+      Free.remove(P);
+      Size += bt::chunkSize(P);
+      C = P;
+      PrevIn = bt::prevInUse(C);
+      assert(PrevIn && "two adjacent free chunks survived coalescing");
+    }
+
+    bt::head(C) = Size | (PrevIn ? bt::kPrevInUse : 0);
+    bt::writeFooter(C);
+    bt::head(C + Size) &= ~bt::kPrevInUse; // tell the neighbour we're free
+    Free.insert(C);
+  }
+
+  Policy Free;
+
+public:
+  /// Result of an exhaustive boundary-tag invariant walk.
+  struct HeapCheck {
+    bool Ok = true;
+    const char *Error = nullptr;
+    std::size_t Chunks = 0;
+    std::size_t FreeChunks = 0;
+    std::size_t FreeBytes = 0;
+  };
+
+  /// Walks every segment checking the chunk invariants: sizes aligned
+  /// and within bounds, prev-in-use flags consistent with the previous
+  /// chunk, footers of free chunks replicating their size, no two
+  /// adjacent free chunks, and exact termination at the fence. Used by
+  /// the fuzz tests after every batch of operations.
+  HeapCheck validateHeap() const {
+    HeapCheck Check;
+    auto Fail = [&](const char *Msg) {
+      Check.Ok = false;
+      if (!Check.Error)
+        Check.Error = Msg;
+    };
+    for (const auto &[Seg, Bytes] : Segments) {
+      char *C = Seg;
+      char *Fence = Seg + Bytes - 8;
+      bool PrevFree = false;
+      if (!bt::prevInUse(C))
+        Fail("first chunk must carry kPrevInUse");
+      while (C < Fence && Check.Ok) {
+        std::size_t Size = bt::chunkSize(C);
+        if (Size < Policy::kMinChunkBytes || Size % 8 != 0) {
+          Fail("chunk size out of range");
+          break;
+        }
+        if (C + Size > Fence) {
+          Fail("chunk overruns its segment");
+          break;
+        }
+        bool InUse = bt::thisInUse(C);
+        if (PrevFree && bt::prevInUse(C))
+          Fail("kPrevInUse set after a free chunk");
+        if (!PrevFree && !bt::prevInUse(C))
+          Fail("kPrevInUse clear after an in-use chunk");
+        if (!InUse) {
+          if (PrevFree)
+            Fail("two adjacent free chunks (missed coalescing)");
+          if (*reinterpret_cast<const std::size_t *>(C + Size - 8) != Size)
+            Fail("free chunk footer does not replicate its size");
+          ++Check.FreeChunks;
+          Check.FreeBytes += Size;
+        }
+        ++Check.Chunks;
+        PrevFree = !InUse;
+        C += Size;
+      }
+      if (Check.Ok && C != Fence)
+        Fail("chunk walk does not land on the fence");
+      if (Check.Ok && !bt::thisInUse(Fence))
+        Fail("fence lost its in-use bit");
+      if (Check.Ok && bt::prevInUse(Fence) == PrevFree)
+        Fail("fence kPrevInUse inconsistent with last chunk");
+    }
+    return Check;
+  }
+
+  /// Number of segments acquired from the page source.
+  std::size_t segmentCount() const { return Segments.size(); }
+
+private:
+  /// Marks \p C (already unlinked) in use, splitting off the remainder
+  /// when it can stand alone as a chunk.
+  void *take(char *C, std::size_t Need) {
+    std::size_t Total = bt::chunkSize(C);
+    std::size_t PrevBit = bt::prevInUse(C) ? bt::kPrevInUse : 0;
+    assert(Total >= Need && "findFit returned a too-small chunk");
+
+    if (Total - Need >= Policy::kMinChunkBytes) {
+      char *Rest = C + Need;
+      bt::head(Rest) = (Total - Need) | bt::kPrevInUse;
+      bt::writeFooter(Rest);
+      // The chunk after Rest already has kPrevInUse clear (C was free)
+      // and its footer view now reads Rest's size via writeFooter.
+      Free.insert(Rest);
+      bt::head(C) = Need | bt::kThisInUse | PrevBit;
+    } else {
+      bt::head(C) = Total | bt::kThisInUse | PrevBit;
+      bt::head(bt::nextChunk(C)) |= bt::kPrevInUse;
+    }
+    auto *Hdr = reinterpret_cast<AllocHeader *>(C + 8);
+    Hdr->Aux = 0;
+    return bt::payloadOf(C);
+  }
+
+  /// Carves a fresh segment holding at least \p Need chunk bytes and
+  /// returns it as one unlinked free chunk. Segment sizes grow
+  /// geometrically so small heaps stay small.
+  char *newSegment(std::size_t Need) {
+    std::size_t Bytes =
+        std::max(Need + 8, NextSegmentPages * kPageSize);
+    std::size_t Pages = alignTo(Bytes, kPageSize) / kPageSize;
+    if (NextSegmentPages < kMaxSegmentPages)
+      NextSegmentPages *= 2;
+    char *Seg = static_cast<char *>(Source.allocPages(Pages));
+    Segments.emplace_back(Seg, Pages * kPageSize);
+    std::size_t ChunkBytes = Pages * kPageSize - 8;
+    bt::head(Seg) = ChunkBytes | bt::kPrevInUse;
+    bt::writeFooter(Seg);
+    char *Fence = Seg + ChunkBytes;
+    bt::head(Fence) = 0 | bt::kThisInUse; // kPrevInUse clear: Seg is free
+    return Seg;
+  }
+
+  std::size_t NextSegmentPages = 16;
+  static constexpr std::size_t kMaxSegmentPages = 256;
+  std::vector<std::pair<char *, std::size_t>> Segments;
+};
+
+} // namespace regions
+
+#endif // ALLOC_BOUNDARYTAGS_H

@@ -1,0 +1,56 @@
+//===- alloc/BumpAllocator.h - Infinitely-fast null allocator --*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator whose free() is a no-op. Not a baseline from the
+/// paper: the experiment harness uses it as the "zero-cost memory
+/// management" backend to measure each workload's *base* execution time
+/// (the paper instead instruments time spent inside the libraries; see
+/// EXPERIMENTS.md for the substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_BUMPALLOCATOR_H
+#define ALLOC_BUMPALLOCATOR_H
+
+#include "alloc/MallocInterface.h"
+
+namespace regions {
+
+/// Bump-pointer allocator over big slabs; never frees.
+class BumpAllocator : public MallocInterface {
+public:
+  explicit BumpAllocator(std::size_t ReserveBytes = std::size_t{2} << 30)
+      : MallocInterface(ReserveBytes) {}
+
+  const char *name() const override { return "bump"; }
+
+protected:
+  void *doMalloc(std::size_t Size) override {
+    std::size_t Need = sizeof(AllocHeader) + alignTo(Size, kDefaultAlignment);
+    if (!Slab || SlabOffset + Need > SlabBytes) {
+      SlabBytes = Need > kSlabBytes ? alignTo(Need, kPageSize) : kSlabBytes;
+      Slab = static_cast<char *>(Source.allocPages(SlabBytes / kPageSize));
+      SlabOffset = 0;
+    }
+    char *Base = Slab + SlabOffset;
+    SlabOffset += Need;
+    reinterpret_cast<AllocHeader *>(Base)->Aux = 0;
+    return Base + sizeof(AllocHeader);
+  }
+
+  void doFree(void *) override {}
+
+private:
+  static constexpr std::size_t kSlabBytes = 1 << 20;
+  char *Slab = nullptr;
+  std::size_t SlabOffset = 0;
+  std::size_t SlabBytes = 0;
+};
+
+} // namespace regions
+
+#endif // ALLOC_BUMPALLOCATOR_H

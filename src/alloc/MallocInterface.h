@@ -1,0 +1,109 @@
+//===- alloc/MallocInterface.h - malloc/free baseline API ------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface for the three malloc/free baselines of §5.2 (Sun,
+/// BSD, Lea). All of them draw pages from a PageSource so the paper's
+/// Figure 8 "memory requested from the OS" metric is measured the same
+/// way as for regions, and none ever returns memory to the OS (matching
+/// the real allocators' behaviour on the paper's platform).
+///
+/// Every allocator places an 8-byte header immediately before the
+/// payload: {Aux, ReqSize}. Aux is allocator-private (bucket index,
+/// flag bits); ReqSize lets the shared statistics layer maintain the
+/// live-requested-bytes high-water mark the paper's tables report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_MALLOCINTERFACE_H
+#define ALLOC_MALLOCINTERFACE_H
+
+#include "support/Align.h"
+#include "support/PageSource.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace regions {
+
+/// Shared allocation statistics (Table 3 columns).
+struct MallocStats {
+  std::uint64_t TotalAllocs = 0;
+  std::uint64_t TotalFrees = 0;
+  std::uint64_t TotalRequestedBytes = 0;
+  std::uint64_t LiveRequestedBytes = 0;
+  std::uint64_t MaxLiveRequestedBytes = 0;
+};
+
+/// Header preceding every payload returned by a MallocInterface.
+struct AllocHeader {
+  std::uint32_t Aux;     ///< allocator-private (bucket index, flags)
+  std::uint32_t ReqSize; ///< bytes the caller asked for
+};
+static_assert(sizeof(AllocHeader) == 8, "header must stay one word");
+
+/// Abstract malloc/free allocator with uniform statistics.
+class MallocInterface {
+public:
+  explicit MallocInterface(std::size_t ReserveBytes = std::size_t{1} << 30)
+      : Source(ReserveBytes) {}
+  virtual ~MallocInterface() = default;
+
+  MallocInterface(const MallocInterface &) = delete;
+  MallocInterface &operator=(const MallocInterface &) = delete;
+
+  /// Allocates \p Size bytes (8-aligned, uninitialized). Size 0 is
+  /// served as size 1, as common mallocs do.
+  void *malloc(std::size_t Size) {
+    if (Size == 0)
+      Size = 1;
+    assert(Size < (std::uint64_t{1} << 32) && "allocation too large");
+    void *Payload = doMalloc(Size);
+    headerOf(Payload)->ReqSize = static_cast<std::uint32_t>(Size);
+    ++Stats.TotalAllocs;
+    Stats.TotalRequestedBytes += Size;
+    Stats.LiveRequestedBytes += Size;
+    if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
+      Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
+    return Payload;
+  }
+
+  /// Frees a pointer obtained from malloc. Null is ignored.
+  void free(void *Payload) {
+    if (!Payload)
+      return;
+    ++Stats.TotalFrees;
+    Stats.LiveRequestedBytes -= headerOf(Payload)->ReqSize;
+    doFree(Payload);
+  }
+
+  /// Human-readable allocator name for the benchmark tables.
+  virtual const char *name() const = 0;
+
+  /// Bytes this allocator has requested from the OS.
+  std::size_t osBytes() const { return Source.osBytes(); }
+
+  const MallocStats &stats() const { return Stats; }
+
+protected:
+  static AllocHeader *headerOf(void *Payload) {
+    return reinterpret_cast<AllocHeader *>(Payload) - 1;
+  }
+
+  /// Returns a payload pointer whose preceding AllocHeader has Aux
+  /// already filled in; the base class writes ReqSize.
+  virtual void *doMalloc(std::size_t Size) = 0;
+  virtual void doFree(void *Payload) = 0;
+
+  PageSource Source;
+
+private:
+  MallocStats Stats;
+};
+
+} // namespace regions
+
+#endif // ALLOC_MALLOCINTERFACE_H

@@ -1,0 +1,50 @@
+//===- alloc/PowerOfTwoAllocator.cpp - BSD-style malloc ------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/PowerOfTwoAllocator.h"
+#include "support/Compiler.h"
+
+using namespace regions;
+
+void *PowerOfTwoAllocator::doMalloc(std::size_t Size) {
+  std::size_t Chunk = chunkBytesFor(Size);
+  unsigned Bucket = log2OfPow2(Chunk);
+  assert(Bucket >= kMinBucket && Bucket <= kMaxBucket && "size out of range");
+
+  if (!FreeLists[Bucket]) {
+    if (Chunk <= kPageSize) {
+      // Carve a fresh page into equal chunks and chain them.
+      char *Page = static_cast<char *>(Source.allocPages(1));
+      FreeChunk *Head = nullptr;
+      for (std::size_t Off = 0; Off + Chunk <= kPageSize; Off += Chunk) {
+        auto *C = reinterpret_cast<FreeChunk *>(Page + Off);
+        C->Next = Head;
+        Head = C;
+      }
+      FreeLists[Bucket] = Head;
+    } else {
+      auto *C = static_cast<FreeChunk *>(Source.allocPages(Chunk / kPageSize));
+      C->Next = nullptr;
+      FreeLists[Bucket] = C;
+    }
+  }
+
+  FreeChunk *C = FreeLists[Bucket];
+  FreeLists[Bucket] = C->Next;
+  auto *Hdr = reinterpret_cast<AllocHeader *>(C);
+  Hdr->Aux = Bucket;
+  return Hdr + 1;
+}
+
+void PowerOfTwoAllocator::doFree(void *Payload) {
+  AllocHeader *Hdr = headerOf(Payload);
+  unsigned Bucket = Hdr->Aux;
+  assert(Bucket >= kMinBucket && Bucket <= kMaxBucket &&
+         "corrupt chunk header");
+  auto *C = reinterpret_cast<FreeChunk *>(Hdr);
+  C->Next = FreeLists[Bucket];
+  FreeLists[Bucket] = C;
+}

@@ -1,0 +1,66 @@
+//===- alloc/PowerOfTwoAllocator.h - BSD-style malloc ----------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "BSD" baseline (§5.2): "It rounds allocations up to the
+/// nearest power of two. It features fast allocation and deallocation
+/// but has a very large memory overhead."
+///
+/// Design (after 4.2BSD malloc): segregated free lists per power-of-two
+/// size class. Sub-page classes carve whole pages into equal chunks;
+/// super-page classes round to a power-of-two number of pages. Chunks
+/// are never split, coalesced, or returned, so both alloc and free are
+/// a handful of instructions — and fragmentation is maximal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALLOC_POWEROFTWOALLOCATOR_H
+#define ALLOC_POWEROFTWOALLOCATOR_H
+
+#include "alloc/MallocInterface.h"
+
+namespace regions {
+
+/// BSD-style power-of-two segregated-fit allocator.
+class PowerOfTwoAllocator : public MallocInterface {
+public:
+  explicit PowerOfTwoAllocator(std::size_t ReserveBytes = std::size_t{1}
+                                                          << 30)
+      : MallocInterface(ReserveBytes) {
+    for (auto &Head : FreeLists)
+      Head = nullptr;
+  }
+
+  const char *name() const override { return "bsd"; }
+
+  /// Chunk bytes used for a request of \p Size (tests/diagnostics).
+  static std::size_t chunkBytesFor(std::size_t Size) {
+    std::size_t Total = sizeof(AllocHeader) + Size;
+    if (Total <= kMinChunk)
+      return kMinChunk;
+    return nextPowerOf2(Total);
+  }
+
+protected:
+  void *doMalloc(std::size_t Size) override;
+  void doFree(void *Payload) override;
+
+private:
+  struct FreeChunk {
+    FreeChunk *Next;
+  };
+
+  // Buckets 4 (16 B) .. 30 (1 GiB); sub-page buckets end at 12 (4 KiB).
+  static constexpr unsigned kMinBucket = 4;
+  static constexpr unsigned kMaxBucket = 30;
+  static constexpr std::size_t kMinChunk = std::size_t{1} << kMinBucket;
+
+  FreeChunk *FreeLists[kMaxBucket + 1];
+};
+
+} // namespace regions
+
+#endif // ALLOC_POWEROFTWOALLOCATOR_H

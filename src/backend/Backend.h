@@ -1,0 +1,70 @@
+//===- backend/Backend.h - Benchmark backend identities --------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Names for the allocator configurations of §5.2: three malloc/free
+/// implementations, the conservative collector, safe and unsafe
+/// regions, the emulation library over each malloc, and the Bump
+/// pseudo-backend used to calibrate base execution time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BACKEND_BACKEND_H
+#define BACKEND_BACKEND_H
+
+namespace regions {
+
+enum class BackendKind {
+  RegionSafe,   ///< paper "Reg": safe regions
+  RegionUnsafe, ///< paper "unsafe": reference counting disabled
+  Sun,          ///< default Solaris allocator (best-fit tree)
+  Bsd,          ///< BSD power-of-two allocator
+  Lea,          ///< Doug Lea's allocator
+  Gc,           ///< Boehm-Weiser conservative collector
+  EmuSun,       ///< region API emulated over Sun malloc
+  EmuBsd,       ///< region API emulated over BSD malloc
+  EmuLea,       ///< region API emulated over Lea malloc
+  Bump,         ///< zero-cost pseudo-allocator (base-time calibration)
+};
+
+inline const char *backendName(BackendKind Kind) {
+  switch (Kind) {
+  case BackendKind::RegionSafe:
+    return "reg";
+  case BackendKind::RegionUnsafe:
+    return "unsafe";
+  case BackendKind::Sun:
+    return "sun";
+  case BackendKind::Bsd:
+    return "bsd";
+  case BackendKind::Lea:
+    return "lea";
+  case BackendKind::Gc:
+    return "gc";
+  case BackendKind::EmuSun:
+    return "emu-sun";
+  case BackendKind::EmuBsd:
+    return "emu-bsd";
+  case BackendKind::EmuLea:
+    return "emu-lea";
+  case BackendKind::Bump:
+    return "bump";
+  }
+  return "?";
+}
+
+inline bool isRegionBackend(BackendKind Kind) {
+  return Kind == BackendKind::RegionSafe || Kind == BackendKind::RegionUnsafe;
+}
+
+inline bool isEmulationBackend(BackendKind Kind) {
+  return Kind == BackendKind::EmuSun || Kind == BackendKind::EmuBsd ||
+         Kind == BackendKind::EmuLea;
+}
+
+} // namespace regions
+
+#endif // BACKEND_BACKEND_H

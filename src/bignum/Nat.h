@@ -1,0 +1,363 @@
+//===- bignum/Nat.h - Arena-allocated natural numbers ----------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision natural numbers for the cfrac workload (the
+/// paper's benchmark factors a 31-digit integer with the continued
+/// fraction method). Values are immutable limb arrays allocated from an
+/// Arena — every arithmetic result is a fresh small allocation, which
+/// is precisely the allocation behaviour that makes cfrac the paper's
+/// most allocation-intensive benchmark (3.8M allocations averaging a
+/// few words).
+///
+/// The Arena concept is a single member: void *alloc(std::size_t).
+/// Region backends bind it to a region's pointer-free allocator;
+/// malloc backends to malloc (see backend/Models.h ScopedArena).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BIGNUM_NAT_H
+#define BIGNUM_NAT_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace regions {
+
+/// A natural number: little-endian base-2^32 limbs, no leading zero
+/// limb; Len == 0 encodes zero. Values are immutable once built; the
+/// limbs live in whatever arena produced them.
+struct Nat {
+  const std::uint32_t *Limbs = nullptr;
+  std::uint32_t Len = 0;
+
+  bool isZero() const { return Len == 0; }
+
+  /// Number of significant bits.
+  std::uint32_t bitLength() const {
+    if (Len == 0)
+      return 0;
+    std::uint32_t Top = Limbs[Len - 1];
+    std::uint32_t Bits = 32 * Len;
+    for (std::uint32_t Probe = 1u << 31; !(Top & Probe); Probe >>= 1)
+      --Bits;
+    return Bits;
+  }
+
+  /// Bit \p I (0 = least significant).
+  bool bit(std::uint32_t I) const {
+    if (I >= 32 * Len)
+      return false;
+    return (Limbs[I / 32] >> (I % 32)) & 1;
+  }
+
+  /// Value as uint64_t; asserts it fits.
+  std::uint64_t toU64() const {
+    assert(Len <= 2 && "value does not fit in 64 bits");
+    std::uint64_t V = 0;
+    for (std::uint32_t I = Len; I-- > 0;)
+      V = (V << 32) | Limbs[I];
+    return V;
+  }
+
+  /// Low 64 bits (for hashing / checksums).
+  std::uint64_t low64() const {
+    std::uint64_t V = 0;
+    for (std::uint32_t I = Len < 2 ? Len : 2; I-- > 0;)
+      V = (V << 32) | Limbs[I];
+    return V;
+  }
+};
+
+/// Three-way comparison, -1/0/+1.
+inline int natCompare(Nat A, Nat B) {
+  if (A.Len != B.Len)
+    return A.Len < B.Len ? -1 : 1;
+  for (std::uint32_t I = A.Len; I-- > 0;) {
+    if (A.Limbs[I] != B.Limbs[I])
+      return A.Limbs[I] < B.Limbs[I] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// Builds Nat values in an Arena. All results are freshly allocated;
+/// nothing is ever freed individually (regions or GC reclaim).
+template <class Arena> class NatBuilder {
+public:
+  explicit NatBuilder(Arena &A) : A(A) {}
+
+  Nat fromU64(std::uint64_t V) {
+    if (V == 0)
+      return Nat{};
+    std::uint32_t Len = V >> 32 ? 2 : 1;
+    std::uint32_t *L = allocLimbs(Len);
+    L[0] = static_cast<std::uint32_t>(V);
+    if (Len == 2)
+      L[1] = static_cast<std::uint32_t>(V >> 32);
+    return Nat{L, Len};
+  }
+
+  Nat fromDecimal(const char *S) {
+    Nat V{};
+    for (; *S; ++S) {
+      assert(*S >= '0' && *S <= '9' && "bad decimal digit");
+      V = addSmall(mulSmall(V, 10), static_cast<std::uint32_t>(*S - '0'));
+    }
+    return V;
+  }
+
+  Nat copy(Nat V) {
+    if (V.Len == 0)
+      return Nat{};
+    std::uint32_t *L = allocLimbs(V.Len);
+    std::memcpy(L, V.Limbs, V.Len * 4);
+    return Nat{L, V.Len};
+  }
+
+  Nat add(Nat X, Nat Y) {
+    if (X.Len < Y.Len)
+      std::swap(X, Y);
+    std::uint32_t *L = allocLimbs(X.Len + 1);
+    std::uint64_t Carry = 0;
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      Carry += X.Limbs[I];
+      if (I < Y.Len)
+        Carry += Y.Limbs[I];
+      L[I] = static_cast<std::uint32_t>(Carry);
+      Carry >>= 32;
+    }
+    L[X.Len] = static_cast<std::uint32_t>(Carry);
+    return trim(L, X.Len + 1);
+  }
+
+  Nat addSmall(Nat X, std::uint32_t V) {
+    std::uint32_t *L = allocLimbs(X.Len + 1);
+    std::uint64_t Carry = V;
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      Carry += X.Limbs[I];
+      L[I] = static_cast<std::uint32_t>(Carry);
+      Carry >>= 32;
+    }
+    L[X.Len] = static_cast<std::uint32_t>(Carry);
+    return trim(L, X.Len + 1);
+  }
+
+  /// X - Y; requires X >= Y.
+  Nat sub(Nat X, Nat Y) {
+    assert(natCompare(X, Y) >= 0 && "sub would go negative");
+    if (X.Len == 0)
+      return Nat{};
+    std::uint32_t *L = allocLimbs(X.Len);
+    std::int64_t Borrow = 0;
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      std::int64_t D = static_cast<std::int64_t>(X.Limbs[I]) - Borrow -
+                       (I < Y.Len ? Y.Limbs[I] : 0);
+      Borrow = D < 0;
+      L[I] = static_cast<std::uint32_t>(D + (Borrow << 32));
+    }
+    assert(Borrow == 0 && "underflow despite precondition");
+    return trim(L, X.Len);
+  }
+
+  Nat mulSmall(Nat X, std::uint32_t V) {
+    if (X.Len == 0 || V == 0)
+      return Nat{};
+    std::uint32_t *L = allocLimbs(X.Len + 1);
+    std::uint64_t Carry = 0;
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      Carry += static_cast<std::uint64_t>(X.Limbs[I]) * V;
+      L[I] = static_cast<std::uint32_t>(Carry);
+      Carry >>= 32;
+    }
+    L[X.Len] = static_cast<std::uint32_t>(Carry);
+    return trim(L, X.Len + 1);
+  }
+
+  Nat mul(Nat X, Nat Y) {
+    if (X.Len == 0 || Y.Len == 0)
+      return Nat{};
+    std::uint32_t *L = allocLimbs(X.Len + Y.Len);
+    std::memset(L, 0, (X.Len + Y.Len) * 4);
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      std::uint64_t Carry = 0;
+      for (std::uint32_t J = 0; J != Y.Len; ++J) {
+        Carry += static_cast<std::uint64_t>(X.Limbs[I]) * Y.Limbs[J] +
+                 L[I + J];
+        L[I + J] = static_cast<std::uint32_t>(Carry);
+        Carry >>= 32;
+      }
+      L[I + Y.Len] = static_cast<std::uint32_t>(Carry);
+    }
+    return trim(L, X.Len + Y.Len);
+  }
+
+  struct DivMod {
+    Nat Quot;
+    Nat Rem;
+  };
+
+  /// Schoolbook binary long division.
+  DivMod divMod(Nat X, Nat Y) {
+    assert(!Y.isZero() && "division by zero");
+    if (natCompare(X, Y) < 0)
+      return {Nat{}, copy(X)};
+    std::uint32_t Bits = X.bitLength();
+    // Mutable remainder and quotient accumulators.
+    std::uint32_t RemLen = Y.Len + 1;
+    auto *R = allocLimbs(RemLen);
+    std::memset(R, 0, RemLen * 4);
+    auto *Q = allocLimbs(X.Len);
+    std::memset(Q, 0, X.Len * 4);
+    for (std::uint32_t I = Bits; I-- > 0;) {
+      // R = (R << 1) | bit_I(X)
+      std::uint32_t Carry = X.bit(I) ? 1u : 0u;
+      for (std::uint32_t J = 0; J != RemLen; ++J) {
+        std::uint32_t Next = R[J] >> 31;
+        R[J] = (R[J] << 1) | Carry;
+        Carry = Next;
+      }
+      // If R >= Y: R -= Y; Q.bit(I) = 1.
+      if (rawCompare(R, RemLen, Y.Limbs, Y.Len) >= 0) {
+        rawSubInPlace(R, RemLen, Y.Limbs, Y.Len);
+        Q[I / 32] |= 1u << (I % 32);
+      }
+    }
+    return {trim(Q, X.Len), trim(R, RemLen)};
+  }
+
+  Nat mod(Nat X, Nat Y) { return divMod(X, Y).Rem; }
+
+  /// Floor of the square root (Newton's method).
+  Nat sqrtFloor(Nat X) {
+    if (X.Len == 0)
+      return Nat{};
+    if (X.Len <= 1) {
+      std::uint64_t V = X.toU64();
+      auto R = static_cast<std::uint64_t>(
+          __builtin_sqrt(static_cast<double>(V)));
+      while (R * R > V)
+        --R;
+      while ((R + 1) * (R + 1) <= V)
+        ++R;
+      return fromU64(R);
+    }
+    // Initial guess: 2^ceil(bits/2).
+    std::uint32_t Bits = (X.bitLength() + 1) / 2;
+    Nat Guess = shiftLeft(fromU64(1), Bits);
+    for (;;) {
+      // Next = (Guess + X/Guess) / 2
+      Nat Next = half(add(Guess, divMod(X, Guess).Quot));
+      if (natCompare(Next, Guess) >= 0)
+        break;
+      Guess = Next;
+    }
+    // Guess may overshoot by one.
+    while (natCompare(mul(Guess, Guess), X) > 0)
+      Guess = sub(Guess, fromU64(1));
+    return Guess;
+  }
+
+  /// Euclid's algorithm. Allocation-heavy by design, like the original
+  /// cfrac's gcd.
+  Nat gcd(Nat X, Nat Y) {
+    Nat A = copy(X), B = copy(Y);
+    while (!B.isZero()) {
+      Nat R = mod(A, B);
+      A = B;
+      B = R;
+    }
+    return A;
+  }
+
+  Nat shiftLeft(Nat X, std::uint32_t Bits) {
+    if (X.Len == 0)
+      return Nat{};
+    std::uint32_t LimbShift = Bits / 32, BitShift = Bits % 32;
+    std::uint32_t Len = X.Len + LimbShift + 1;
+    std::uint32_t *L = allocLimbs(Len);
+    std::memset(L, 0, Len * 4);
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      std::uint64_t V = static_cast<std::uint64_t>(X.Limbs[I]) << BitShift;
+      L[I + LimbShift] |= static_cast<std::uint32_t>(V);
+      L[I + LimbShift + 1] |= static_cast<std::uint32_t>(V >> 32);
+    }
+    return trim(L, Len);
+  }
+
+  /// X / 2.
+  Nat half(Nat X) {
+    if (X.Len == 0)
+      return Nat{};
+    std::uint32_t *L = allocLimbs(X.Len);
+    for (std::uint32_t I = 0; I != X.Len; ++I) {
+      L[I] = X.Limbs[I] >> 1;
+      if (I + 1 < X.Len)
+        L[I] |= X.Limbs[I + 1] << 31;
+    }
+    return trim(L, X.Len);
+  }
+
+  /// Decimal rendering; uses the normal C++ heap (diagnostics only).
+  std::string toDecimal(Nat X) {
+    if (X.Len == 0)
+      return "0";
+    std::string Digits;
+    Nat Cur = copy(X);
+    Nat Ten = fromU64(10);
+    while (!Cur.isZero()) {
+      DivMod DM = divMod(Cur, Ten);
+      Digits.push_back(static_cast<char>(
+          '0' + (DM.Rem.Len ? DM.Rem.Limbs[0] : 0)));
+      Cur = DM.Quot;
+    }
+    return std::string(Digits.rbegin(), Digits.rend());
+  }
+
+private:
+  std::uint32_t *allocLimbs(std::uint32_t N) {
+    return static_cast<std::uint32_t *>(A.alloc(N * 4));
+  }
+
+  Nat trim(std::uint32_t *L, std::uint32_t Len) {
+    while (Len && L[Len - 1] == 0)
+      --Len;
+    return Nat{L, Len};
+  }
+
+  static int rawCompare(const std::uint32_t *X, std::uint32_t XLen,
+                        const std::uint32_t *Y, std::uint32_t YLen) {
+    while (XLen && X[XLen - 1] == 0)
+      --XLen;
+    while (YLen && Y[YLen - 1] == 0)
+      --YLen;
+    if (XLen != YLen)
+      return XLen < YLen ? -1 : 1;
+    for (std::uint32_t I = XLen; I-- > 0;)
+      if (X[I] != Y[I])
+        return X[I] < Y[I] ? -1 : 1;
+    return 0;
+  }
+
+  static void rawSubInPlace(std::uint32_t *X, std::uint32_t XLen,
+                            const std::uint32_t *Y, std::uint32_t YLen) {
+    std::int64_t Borrow = 0;
+    for (std::uint32_t I = 0; I != XLen; ++I) {
+      std::int64_t D = static_cast<std::int64_t>(X[I]) - Borrow -
+                       (I < YLen ? Y[I] : 0);
+      Borrow = D < 0;
+      X[I] = static_cast<std::uint32_t>(D + (Borrow << 32));
+    }
+    assert(Borrow == 0 && "rawSubInPlace underflow");
+  }
+
+  Arena &A;
+};
+
+} // namespace regions
+
+#endif // BIGNUM_NAT_H

@@ -1,0 +1,94 @@
+//===- cachesim/CacheSim.cpp - Two-level cache model ----------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cachesim/CacheSim.h"
+
+#include <cassert>
+
+using namespace regions;
+
+CacheLevel::CacheLevel(const CacheConfig &Config)
+    : LineBytes(Config.LineBytes),
+      NumSets(Config.TotalBytes / (Config.LineBytes * Config.Associativity)),
+      Assoc(Config.Associativity) {
+  assert(isPowerOf2(LineBytes) && isPowerOf2(NumSets) &&
+         "cache geometry must be power-of-two");
+  Tags.assign(NumSets * Assoc, 0);
+  LruStamp.assign(NumSets * Assoc, 0);
+}
+
+bool CacheLevel::access(std::uintptr_t Address) {
+  std::uintptr_t Line = Address / LineBytes;
+  std::size_t Set = Line & (NumSets - 1);
+  std::uintptr_t Tag = Line + 1; // +1 so a valid tag is never 0
+  std::uintptr_t *SetTags = &Tags[Set * Assoc];
+  std::uint8_t *SetLru = &LruStamp[Set * Assoc];
+  ++Clock;
+
+  unsigned VictimWay = 0;
+  std::uint8_t OldestStamp = 255;
+  for (unsigned Way = 0; Way != Assoc; ++Way) {
+    if (SetTags[Way] == Tag) {
+      SetLru[Way] = Clock;
+      return true;
+    }
+    // Age relative to the current clock (wraps safely for small Assoc).
+    std::uint8_t Age = static_cast<std::uint8_t>(Clock - SetLru[Way]);
+    if (SetTags[Way] == 0) {
+      VictimWay = Way;
+      OldestStamp = 0; // empty way always wins
+    } else if (OldestStamp != 0 && Age >= OldestStamp) {
+      OldestStamp = Age;
+      VictimWay = Way;
+    }
+  }
+  SetTags[VictimWay] = Tag;
+  SetLru[VictimWay] = Clock;
+  return false;
+}
+
+void CacheLevel::reset() {
+  Tags.assign(Tags.size(), 0);
+  LruStamp.assign(LruStamp.size(), 0);
+  Clock = 0;
+}
+
+CacheSim::CacheSim(const Params &Params) : L1(Params.L1), L2(Params.L2),
+                                           P(Params) {}
+
+void CacheSim::access(const void *Ptr, std::size_t Bytes, bool IsWrite) {
+  if (Bytes == 0)
+    return;
+  auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+  std::uintptr_t First = L1.lineOf(Addr);
+  std::uintptr_t Last = L1.lineOf(Addr + Bytes - 1);
+  for (std::uintptr_t Line = First; Line <= Last; Line += L1.lineBytes()) {
+    if (IsWrite)
+      ++S.Writes;
+    else
+      ++S.Reads;
+    if (L1.access(Line))
+      continue;
+    ++S.L1Misses;
+    std::uint64_t Cost;
+    if (L2.access(Line)) {
+      Cost = P.L2HitCycles;
+    } else {
+      ++S.L2Misses;
+      Cost = P.MemoryCycles;
+    }
+    if (IsWrite)
+      S.WriteStallCycles += Cost;
+    else
+      S.ReadStallCycles += Cost;
+  }
+}
+
+void CacheSim::resetAll() {
+  L1.reset();
+  L2.reset();
+  resetStats();
+}

@@ -1,0 +1,111 @@
+//===- cachesim/CacheSim.h - Two-level cache model -------------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 10 of the paper reports processor cycles lost to read and
+/// write stalls, measured with the UltraSparc-I's internal counters.
+/// We cannot read 1996 hardware counters, so the harness feeds each
+/// workload's data accesses (on the real addresses each allocator
+/// returns) through this two-level cache model instead: stall counts
+/// are then a deterministic function of the address stream, preserving
+/// exactly the allocator-induced locality differences the figure
+/// demonstrates (see DESIGN.md's substitution table).
+///
+/// The default geometry mirrors the UltraSparc-I: 16 KB direct-mapped
+/// L1 data cache with 32-byte lines, and a 512 KB direct-mapped unified
+/// L2 with 64-byte lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CACHESIM_CACHESIM_H
+#define CACHESIM_CACHESIM_H
+
+#include "support/Align.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace regions {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::size_t TotalBytes;
+  std::size_t LineBytes;
+  unsigned Associativity;
+};
+
+/// One set-associative cache level with LRU replacement.
+class CacheLevel {
+public:
+  explicit CacheLevel(const CacheConfig &Config);
+
+  /// Returns true on hit; on miss the line is filled (evicting LRU).
+  bool access(std::uintptr_t Address);
+
+  /// First line-aligned address of the line containing Address.
+  std::uintptr_t lineOf(std::uintptr_t Address) const {
+    return Address & ~(LineBytes - 1);
+  }
+
+  std::size_t lineBytes() const { return LineBytes; }
+
+  void reset();
+
+private:
+  std::size_t LineBytes;
+  std::size_t NumSets;
+  unsigned Assoc;
+  std::vector<std::uintptr_t> Tags;      ///< NumSets x Assoc, 0 = empty
+  std::vector<std::uint8_t> LruStamp;    ///< per-way recency (small counter)
+  std::uint8_t Clock = 0;
+};
+
+/// Two-level cache simulator with stall-cycle accounting.
+class CacheSim {
+public:
+  /// Stall model: an L1 miss that hits in L2 costs L2HitCycles; an L2
+  /// miss costs MemoryCycles. Reads and writes are accounted
+  /// separately, as in the paper's figure.
+  struct Params {
+    CacheConfig L1{16 * 1024, 32, 1};
+    CacheConfig L2{512 * 1024, 64, 1};
+    std::uint32_t L2HitCycles = 6;
+    std::uint32_t MemoryCycles = 42;
+  };
+
+  struct Stats {
+    std::uint64_t Reads = 0;
+    std::uint64_t Writes = 0;
+    std::uint64_t L1Misses = 0;
+    std::uint64_t L2Misses = 0;
+    std::uint64_t ReadStallCycles = 0;
+    std::uint64_t WriteStallCycles = 0;
+
+    std::uint64_t totalStallCycles() const {
+      return ReadStallCycles + WriteStallCycles;
+    }
+  };
+
+  CacheSim() : CacheSim(Params{}) {}
+  explicit CacheSim(const Params &P);
+
+  /// Simulates an access of \p Bytes at \p Ptr (split across lines).
+  void access(const void *Ptr, std::size_t Bytes, bool IsWrite);
+
+  const Stats &stats() const { return S; }
+  void resetStats() { S = Stats{}; }
+  void resetAll();
+
+private:
+  CacheLevel L1;
+  CacheLevel L2;
+  Params P;
+  Stats S;
+};
+
+} // namespace regions
+
+#endif // CACHESIM_CACHESIM_H

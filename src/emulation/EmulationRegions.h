@@ -1,0 +1,105 @@
+//===- emulation/EmulationRegions.h - Regions over malloc ------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "emulation" library (§5.2): "a region library that uses
+/// malloc and free to allocate and free each individual object. This
+/// library approximates the performance a region-based application
+/// would have if it were written with malloc/free." Each region keeps
+/// its objects on a linked list — the paper's noted space overhead —
+/// so deleteRegion can free them one by one. The paper uses it for the
+/// malloc/free measurements of the originally region-based programs
+/// (mudlle, lcc); so do we.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EMULATION_EMULATIONREGIONS_H
+#define EMULATION_EMULATIONREGIONS_H
+
+#include "alloc/MallocInterface.h"
+
+#include <cstdint>
+
+namespace regions {
+
+/// A region emulated as a list of individually malloc'd objects.
+struct EmuRegion {
+  struct ObjHeader {
+    ObjHeader *Next;
+  };
+  ObjHeader *Objects = nullptr;
+  std::uint64_t NumObjects = 0;
+  std::uint64_t RequestedBytes = 0;
+};
+
+/// Region API over any malloc/free implementation.
+class EmulationRegionLib {
+public:
+  /// Statistics mirroring RegionStats' region columns; byte-level stats
+  /// come from the underlying allocator.
+  struct EmuStats {
+    std::uint64_t TotalRegions = 0;
+    std::uint64_t LiveRegions = 0;
+    std::uint64_t MaxLiveRegions = 0;
+    std::uint64_t MaxRegionBytes = 0;
+    std::uint64_t ListOverheadBytes = 0; ///< 8 bytes per object + regions
+  };
+
+  explicit EmulationRegionLib(MallocInterface &Malloc) : Malloc(Malloc) {}
+
+  /// Creates an emulated region (malloc'd itself).
+  EmuRegion *newRegion() {
+    auto *R = static_cast<EmuRegion *>(Malloc.malloc(sizeof(EmuRegion)));
+    R->Objects = nullptr;
+    R->NumObjects = 0;
+    R->RequestedBytes = 0;
+    ++Stats.TotalRegions;
+    ++Stats.LiveRegions;
+    if (Stats.LiveRegions > Stats.MaxLiveRegions)
+      Stats.MaxLiveRegions = Stats.LiveRegions;
+    Stats.ListOverheadBytes += sizeof(EmuRegion);
+    return R;
+  }
+
+  /// Allocates \p Size bytes in \p R (uninitialized).
+  void *alloc(EmuRegion *R, std::size_t Size) {
+    auto *Hdr = static_cast<EmuRegion::ObjHeader *>(
+        Malloc.malloc(sizeof(EmuRegion::ObjHeader) + Size));
+    Hdr->Next = R->Objects;
+    R->Objects = Hdr;
+    ++R->NumObjects;
+    R->RequestedBytes += Size;
+    if (R->RequestedBytes > Stats.MaxRegionBytes)
+      Stats.MaxRegionBytes = R->RequestedBytes;
+    Stats.ListOverheadBytes += sizeof(EmuRegion::ObjHeader);
+    return Hdr + 1;
+  }
+
+  /// Frees every object in \p R, then \p R itself; nulls the handle.
+  /// Always succeeds: the emulation is as unsafe as plain malloc/free.
+  void deleteRegion(EmuRegion *&R) {
+    EmuRegion::ObjHeader *Obj = R->Objects;
+    while (Obj) {
+      EmuRegion::ObjHeader *Next = Obj->Next;
+      Malloc.free(Obj);
+      Obj = Next;
+    }
+    Malloc.free(R);
+    --Stats.LiveRegions;
+    R = nullptr;
+  }
+
+  MallocInterface &allocator() { return Malloc; }
+  const EmuStats &stats() const { return Stats; }
+
+private:
+  MallocInterface &Malloc;
+  EmuStats Stats;
+};
+
+} // namespace regions
+
+#endif // EMULATION_EMULATIONREGIONS_H

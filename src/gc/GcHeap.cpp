@@ -1,0 +1,329 @@
+//===- gc/GcHeap.cpp - Conservative mark-sweep collector ------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GcHeap.h"
+#include "region/RuntimeStack.h"
+#include "support/Compiler.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+#include <csetjmp>
+#include <cstring>
+#include <pthread.h>
+
+using namespace regions;
+
+const std::uint16_t GcHeap::ClassBytes[GcHeap::kNumClasses] = {
+    16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048};
+
+GcHeap::GcHeap(std::size_t ReserveBytes) : MallocInterface(ReserveBytes) {
+  Pages.resize(Source.reservedPages());
+  captureStackBottom();
+}
+
+std::uint8_t GcHeap::classFor(std::size_t TotalBytes) {
+  for (std::uint8_t I = 0; I != kNumClasses; ++I)
+    if (ClassBytes[I] >= TotalBytes)
+      return I;
+  rgn_unreachable("classFor called with a large-object size");
+}
+
+void GcHeap::captureStackBottom() {
+  // Resolve the thread's true stack top (its highest address; the
+  // "bottom" of a downward-growing stack) so conservative scans cover
+  // every caller frame no matter how deep this call sits.
+  pthread_attr_t Attr;
+  if (pthread_getattr_np(pthread_self(), &Attr) != 0) {
+    StackBottom = static_cast<char *>(__builtin_frame_address(0));
+    return;
+  }
+  void *Addr = nullptr;
+  std::size_t Size = 0;
+  pthread_attr_getstack(&Attr, &Addr, &Size);
+  pthread_attr_destroy(&Attr);
+  StackBottom = static_cast<char *>(Addr) + Size;
+}
+
+void GcHeap::addRootRange(void *Begin, void *End) {
+  RootRanges.emplace_back(static_cast<char *>(Begin),
+                          static_cast<char *>(End));
+}
+
+void GcHeap::removeRootRange(void *Begin) {
+  for (auto &Range : RootRanges) {
+    if (Range.first != Begin)
+      continue;
+    Range = RootRanges.back();
+    RootRanges.pop_back();
+    return;
+  }
+  assert(false && "removeRootRange: range was never registered");
+}
+
+void GcHeap::carvePage(std::uint8_t ClassIdx) {
+  char *Page = static_cast<char *>(Source.allocPages(1));
+  PageInfo &Info = Pages[Source.pageIndex(Page)];
+  Info.Kind = PageKind::Small;
+  Info.ClassIdx = ClassIdx;
+  if (FreeBitmapSlots.empty()) {
+    Info.Extra = static_cast<std::uint32_t>(BitmapPool.size());
+    BitmapPool.emplace_back();
+  } else {
+    Info.Extra = FreeBitmapSlots.back();
+    FreeBitmapSlots.pop_back();
+  }
+  std::memset(&BitmapPool[Info.Extra], 0, sizeof(Bitmaps));
+
+  std::size_t Bytes = ClassBytes[ClassIdx];
+  FreeChunk *Head = FreeLists[ClassIdx];
+  for (std::size_t Off = 0; Off + Bytes <= kPageSize; Off += Bytes) {
+    auto *C = reinterpret_cast<FreeChunk *>(Page + Off);
+    C->Next = Head;
+    Head = C;
+  }
+  FreeLists[ClassIdx] = Head;
+}
+
+void GcHeap::maybeCollect(std::size_t UpcomingBytes) {
+  std::size_t Threshold =
+      std::max(MinHeapBytes,
+               static_cast<std::size_t>(
+                   GrowthFactor * static_cast<double>(LiveBytes)));
+  if (BytesSinceGc + UpcomingBytes > Threshold)
+    collect();
+}
+
+void *GcHeap::doMalloc(std::size_t Size) {
+  std::size_t Total = sizeof(AllocHeader) + Size;
+  assert(!InCollection && "allocation during collection");
+
+  if (Total > ClassBytes[kNumClasses - 1]) {
+    // Large object: dedicated page run.
+    maybeCollect(Total);
+    std::size_t NumPages = alignTo(Total, kPageSize) / kPageSize;
+    char *Run = static_cast<char *>(Source.allocPages(NumPages));
+    std::size_t Idx = Source.pageIndex(Run);
+    Pages[Idx].Kind = PageKind::LargeStart;
+    Pages[Idx].LargeMark = 0;
+    Pages[Idx].Extra = static_cast<std::uint32_t>(NumPages);
+    for (std::size_t I = 1; I != NumPages; ++I)
+      Pages[Idx + I].Kind = PageKind::LargeCont;
+    BytesSinceGc += NumPages * kPageSize;
+    LiveBytes += NumPages * kPageSize;
+    auto *Hdr = reinterpret_cast<AllocHeader *>(Run);
+    Hdr->Aux = 0;
+    // Clear: stale pointers in recycled pages would cause false
+    // retention under conservative marking.
+    std::memset(Run + sizeof(AllocHeader), 0, Total - sizeof(AllocHeader));
+    return Hdr + 1;
+  }
+
+  std::uint8_t Cls = classFor(Total);
+  if (!FreeLists[Cls]) {
+    maybeCollect(ClassBytes[Cls]);
+    if (!FreeLists[Cls])
+      carvePage(Cls);
+  }
+  FreeChunk *C = FreeLists[Cls];
+  FreeLists[Cls] = C->Next;
+
+  char *Chunk = reinterpret_cast<char *>(C);
+  PageInfo &Info = infoFor(Chunk);
+  std::size_t ChunkIdx =
+      (Chunk - pageBase(Chunk)) / ClassBytes[Info.ClassIdx];
+  BitmapPool[Info.Extra].Alloc[ChunkIdx >> 6] |= std::uint64_t{1}
+                                                 << (ChunkIdx & 63);
+  BytesSinceGc += ClassBytes[Cls];
+  LiveBytes += ClassBytes[Cls];
+  std::memset(Chunk, 0, ClassBytes[Cls]);
+  auto *Hdr = reinterpret_cast<AllocHeader *>(Chunk);
+  Hdr->Aux = Cls;
+  return Hdr + 1;
+}
+
+bool GcHeap::isLiveObject(const void *Ptr) const {
+  if (!Source.contains(Ptr))
+    return false;
+  const PageInfo &Info = Pages[Source.pageIndex(Ptr)];
+  switch (Info.Kind) {
+  case PageKind::Free:
+    return false;
+  case PageKind::LargeStart:
+  case PageKind::LargeCont:
+    return true;
+  case PageKind::Small: {
+    auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+    std::size_t ChunkIdx = (Addr & (kPageSize - 1)) / ClassBytes[Info.ClassIdx];
+    return BitmapPool[Info.Extra].Alloc[ChunkIdx >> 6] &
+           (std::uint64_t{1} << (ChunkIdx & 63));
+  }
+  }
+  return false;
+}
+
+void GcHeap::markWord(std::uintptr_t Word) {
+  auto *Ptr = reinterpret_cast<char *>(Word);
+  if (!Source.contains(Ptr))
+    return;
+  std::size_t Idx = Source.pageIndex(Ptr);
+  PageInfo *Info = &Pages[Idx];
+
+  if (Info->Kind == PageKind::LargeCont) {
+    // Interior pointer into a large run: walk back to the start page.
+    while (Info->Kind == PageKind::LargeCont) {
+      --Idx;
+      Info = &Pages[Idx];
+    }
+  }
+  if (Info->Kind == PageKind::LargeStart) {
+    if (Info->LargeMark)
+      return;
+    Info->LargeMark = 1;
+    char *Run = Source.base() + Idx * kPageSize;
+    MarkStack.emplace_back(Run, Info->Extra * kPageSize);
+    return;
+  }
+  if (Info->Kind != PageKind::Small)
+    return;
+
+  std::size_t Bytes = ClassBytes[Info->ClassIdx];
+  char *Page = Source.base() + Idx * kPageSize;
+  std::size_t ChunkIdx =
+      static_cast<std::size_t>(Ptr - Page) / Bytes;
+  Bitmaps &B = BitmapPool[Info->Extra];
+  std::uint64_t Bit = std::uint64_t{1} << (ChunkIdx & 63);
+  if (!(B.Alloc[ChunkIdx >> 6] & Bit))
+    return; // free chunk: stale pointer, ignore
+  if (B.Mark[ChunkIdx >> 6] & Bit)
+    return; // already marked
+  B.Mark[ChunkIdx >> 6] |= Bit;
+  MarkStack.emplace_back(Page + ChunkIdx * Bytes, Bytes);
+}
+
+void GcHeap::markRange(const void *Begin, const void *End) {
+  auto Lo = alignTo(reinterpret_cast<std::uintptr_t>(Begin), sizeof(void *));
+  auto Hi = alignDown(reinterpret_cast<std::uintptr_t>(End), sizeof(void *));
+  for (auto P = Lo; P < Hi; P += sizeof(void *))
+    markWord(*reinterpret_cast<const std::uintptr_t *>(P));
+}
+
+void GcHeap::markFromRoots() {
+  for (const auto &[Begin, End] : RootRanges)
+    markRange(Begin, End);
+
+  // The region runtime's shadow stack: locals registered through
+  // rt::Ref are roots under every backend.
+  auto &Stack = rt::RuntimeStack::current();
+  for (std::size_t I = 0, E = Stack.slotCount(); I != E; ++I)
+    markWord(reinterpret_cast<std::uintptr_t>(Stack.slotValue(I)));
+
+  if (ScanMachineStack && StackBottom) {
+    // Spill callee-saved registers into a jmp_buf on the stack, then
+    // scan from the current frame to the captured bottom.
+    jmp_buf Regs;
+    (void)setjmp(Regs);
+    char *Top = static_cast<char *>(__builtin_frame_address(0));
+    if (Top < StackBottom)
+      markRange(Top, StackBottom);
+    else
+      markRange(StackBottom, Top);
+  }
+
+  while (!MarkStack.empty()) {
+    auto [Obj, Bytes] = MarkStack.back();
+    MarkStack.pop_back();
+    markRange(Obj, Obj + Bytes);
+  }
+}
+
+void GcHeap::sweep() {
+  // Rebuild every free list from the mark bitmaps.
+  for (auto &Head : FreeLists)
+    Head = nullptr;
+  std::size_t NewLive = 0;
+
+  for (std::size_t Idx = 0, E = Source.osBytes() / kPageSize; Idx != E;
+       ++Idx) {
+    PageInfo &Info = Pages[Idx];
+    char *Page = Source.base() + Idx * kPageSize;
+    switch (Info.Kind) {
+    case PageKind::Free:
+    case PageKind::LargeCont:
+      break;
+    case PageKind::LargeStart: {
+      std::size_t NumPages = Info.Extra;
+      if (Info.LargeMark) {
+        Info.LargeMark = 0;
+        NewLive += NumPages * kPageSize;
+        Idx += NumPages - 1;
+        break;
+      }
+      for (std::size_t I = 0; I != NumPages; ++I)
+        Pages[Idx + I].Kind = PageKind::Free;
+      Source.freePages(Page, NumPages);
+      ++Gc.ObjectsFreedTotal;
+      Idx += NumPages - 1;
+      break;
+    }
+    case PageKind::Small: {
+      Bitmaps &B = BitmapPool[Info.Extra];
+      std::size_t Bytes = ClassBytes[Info.ClassIdx];
+      std::size_t NumChunks = kPageSize / Bytes;
+      bool AnyLive = false;
+      for (std::size_t C = 0; C != NumChunks; ++C) {
+        std::uint64_t Bit = std::uint64_t{1} << (C & 63);
+        bool WasAlloc = B.Alloc[C >> 6] & Bit;
+        bool Marked = B.Mark[C >> 6] & Bit;
+        if (WasAlloc && !Marked)
+          ++Gc.ObjectsFreedTotal;
+        if (Marked) {
+          AnyLive = true;
+          NewLive += Bytes;
+        }
+      }
+      for (int W = 0; W != 4; ++W) {
+        B.Alloc[W] &= B.Mark[W];
+        B.Mark[W] = 0;
+      }
+      if (!AnyLive) {
+        FreeBitmapSlots.push_back(Info.Extra);
+        Info.Kind = PageKind::Free;
+        Source.freePages(Page, 1);
+        break;
+      }
+      // Chain every unallocated chunk back onto its class free list.
+      for (std::size_t C = 0; C != NumChunks; ++C) {
+        std::uint64_t Bit = std::uint64_t{1} << (C & 63);
+        if (B.Alloc[C >> 6] & Bit)
+          continue;
+        auto *Chunk = reinterpret_cast<FreeChunk *>(Page + C * Bytes);
+        Chunk->Next = FreeLists[Info.ClassIdx];
+        FreeLists[Info.ClassIdx] = Chunk;
+      }
+      break;
+    }
+    }
+  }
+  LiveBytes = NewLive;
+}
+
+void GcHeap::collect() {
+  assert(!InCollection && "re-entrant collection");
+  InCollection = true;
+  std::uint64_t Start = monotonicNanos();
+
+  markFromRoots();
+  sweep();
+
+  std::uint64_t Pause = monotonicNanos() - Start;
+  ++Gc.Collections;
+  Gc.TotalPauseNs += Pause;
+  if (Pause > Gc.MaxPauseNs)
+    Gc.MaxPauseNs = Pause;
+  Gc.LiveBytesAfterLastGc = LiveBytes;
+  BytesSinceGc = 0;
+  InCollection = false;
+}

@@ -1,0 +1,146 @@
+//===- gc/GcHeap.h - Conservative mark-sweep collector ---------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "GC" baseline (§5.2): the Boehm-Weiser conservative
+/// garbage collector v4.12, used with free() disabled so memory safety
+/// is guaranteed.
+///
+/// Design (after Boehm-Weiser): a non-moving collector over 4 KB pages.
+/// Small objects come from size-class pages with per-object allocation
+/// and mark bitmaps; large objects occupy dedicated page runs. Marking
+/// is conservative: any aligned word that could be a pointer into an
+/// allocated object (interior pointers included) keeps that object
+/// alive. Roots are registered ranges, the region runtime's shadow
+/// stack, and (by default) the machine stack plus spilled registers.
+/// Collections trigger when the bytes allocated since the last
+/// collection exceed the live heap times a growth factor — the policy
+/// that makes GC cheap with plentiful memory and expensive when the
+/// application "needs most of the available memory" (§1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GC_GCHEAP_H
+#define GC_GCHEAP_H
+
+#include "alloc/MallocInterface.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace regions {
+
+/// Conservative mark-sweep collected heap. Implements MallocInterface
+/// so the benchmark harness can drive it like any malloc; free() is a
+/// no-op, as in the paper's GC configuration.
+class GcHeap : public MallocInterface {
+public:
+  struct GcStats {
+    std::uint64_t Collections = 0;
+    std::uint64_t TotalPauseNs = 0;
+    std::uint64_t MaxPauseNs = 0;
+    std::uint64_t LiveBytesAfterLastGc = 0;
+    std::uint64_t ObjectsFreedTotal = 0;
+  };
+
+  explicit GcHeap(std::size_t ReserveBytes = std::size_t{1} << 30);
+
+  const char *name() const override { return "gc"; }
+
+  /// Registers [Begin, End) as a root range scanned at every collection.
+  void addRootRange(void *Begin, void *End);
+
+  /// Removes a range previously added with addRootRange.
+  void removeRootRange(void *Begin);
+
+  /// Runs a full stop-the-world collection now.
+  void collect();
+
+  /// Heap-growth trigger: collect when bytes allocated since the last
+  /// collection exceed GrowthFactor * live bytes (at least MinHeap).
+  void setGrowthFactor(double Factor) { GrowthFactor = Factor; }
+
+  /// Disables/enables scanning of the machine stack and registers.
+  /// Tests that manage roots exactly turn this off.
+  void setScanMachineStack(bool Scan) { ScanMachineStack = Scan; }
+
+  /// Captures the current frame address as the stack bottom; call from
+  /// main/the harness before allocating.
+  void captureStackBottom();
+
+  const GcStats &gcStats() const { return Gc; }
+
+  /// True if \p Ptr points into a currently allocated object.
+  bool isLiveObject(const void *Ptr) const;
+
+protected:
+  void *doMalloc(std::size_t Size) override;
+  void doFree(void *) override {} // free() disabled under GC (§5.2)
+
+private:
+  enum class PageKind : std::uint8_t { Free, Small, LargeStart, LargeCont };
+
+  struct PageInfo {
+    PageKind Kind = PageKind::Free;
+    std::uint8_t ClassIdx = 0;
+    std::uint8_t LargeMark = 0;
+    std::uint8_t Pad = 0;
+    std::uint32_t Extra = 0; ///< Small: bitmap index; LargeStart: run pages
+  };
+
+  /// Per-small-page allocation and mark bitmaps (up to 256 chunks).
+  struct Bitmaps {
+    std::uint64_t Alloc[4];
+    std::uint64_t Mark[4];
+  };
+
+  struct FreeChunk {
+    FreeChunk *Next;
+  };
+
+  static constexpr std::uint8_t kNumClasses = 15;
+  static const std::uint16_t ClassBytes[kNumClasses];
+
+  static std::uint8_t classFor(std::size_t TotalBytes);
+
+  PageInfo &infoFor(const void *Ptr) {
+    return Pages[Source.pageIndex(Ptr)];
+  }
+
+  char *pageBase(const void *Ptr) const {
+    auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+    return reinterpret_cast<char *>(Addr & ~(kPageSize - 1));
+  }
+
+  void carvePage(std::uint8_t ClassIdx);
+  void maybeCollect(std::size_t UpcomingBytes);
+
+  // Mark phase helpers.
+  void markWord(std::uintptr_t Word);
+  void markRange(const void *Begin, const void *End);
+  void markFromRoots();
+  void sweep();
+
+  std::vector<PageInfo> Pages;
+  std::vector<Bitmaps> BitmapPool;
+  std::vector<std::uint32_t> FreeBitmapSlots;
+  FreeChunk *FreeLists[kNumClasses] = {};
+  std::vector<std::pair<char *, char *>> RootRanges;
+  std::vector<std::pair<char *, std::size_t>> MarkStack; ///< obj, bytes
+
+  double GrowthFactor = 1.0;
+  std::size_t MinHeapBytes = 256 * 1024;
+  std::size_t BytesSinceGc = 0;
+  std::size_t LiveBytes = 0; ///< allocated chunk bytes (estimate)
+  bool ScanMachineStack = true;
+  bool InCollection = false;
+  char *StackBottom = nullptr;
+  GcStats Gc;
+};
+
+} // namespace regions
+
+#endif // GC_GCHEAP_H

@@ -1,0 +1,71 @@
+//===- harness/Experiment.cpp - Benchmark harness utilities ---------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace regions;
+using namespace regions::harness;
+using namespace regions::workloads;
+
+double harness::envScale() {
+  if (const char *S = std::getenv("REGIONS_BENCH_SCALE")) {
+    double V = std::atof(S);
+    if (V > 0)
+      return V;
+  }
+  return 1.0;
+}
+
+unsigned harness::envRepeats() {
+  if (const char *S = std::getenv("REGIONS_BENCH_REPEATS")) {
+    int V = std::atoi(S);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  return 3;
+}
+
+WorkloadOptions harness::defaultOptions() {
+  WorkloadOptions Opt;
+  Opt.Scale = envScale();
+  return Opt;
+}
+
+RunResult harness::runMedian(WorkloadId W, BackendKind B,
+                             const WorkloadOptions &Opt, unsigned Repeats) {
+  std::vector<RunResult> Runs;
+  for (unsigned I = 0; I != Repeats; ++I)
+    Runs.push_back(runWorkload(W, B, Opt));
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &A, const RunResult &Bb) {
+              return A.Millis < Bb.Millis;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+TimeSplit harness::timeSplit(WorkloadId W, BackendKind B,
+                             const WorkloadOptions &Opt, unsigned Repeats) {
+  TimeSplit S;
+  S.TotalMs = runMedian(W, B, Opt, Repeats).Millis;
+  S.BaseMs = runMedian(W, BackendKind::Bump, Opt, Repeats).Millis;
+  S.MemoryMs = S.TotalMs > S.BaseMs ? S.TotalMs - S.BaseMs : 0.0;
+  return S;
+}
+
+void harness::printBanner(const char *Title, const char *PaperRef) {
+  std::printf("== %s ==\n", Title);
+  std::printf("Reproduces %s of Gay & Aiken, \"Memory Management with "
+              "Explicit Regions\" (PLDI 1998).\n",
+              PaperRef);
+  std::printf("scale=%.2f repeats=%u (see EXPERIMENTS.md for expected "
+              "shapes)\n\n",
+              envScale(), envRepeats());
+}

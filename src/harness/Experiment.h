@@ -1,0 +1,58 @@
+//===- harness/Experiment.h - Benchmark harness utilities ------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the bench/ binaries that regenerate the paper's
+/// tables and figures: median-of-N timing, environment knobs, and the
+/// base/memory execution-time split of Figure 9.
+///
+/// Environment variables:
+///   REGIONS_BENCH_SCALE    problem-size multiplier (default 1.0)
+///   REGIONS_BENCH_REPEATS  timing repetitions, median taken (default 3)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HARNESS_EXPERIMENT_H
+#define HARNESS_EXPERIMENT_H
+
+#include "workloads/Workloads.h"
+
+namespace regions {
+namespace harness {
+
+/// REGIONS_BENCH_SCALE or 1.0.
+double envScale();
+
+/// REGIONS_BENCH_REPEATS or 3.
+unsigned envRepeats();
+
+/// Default workload options honouring the environment knobs.
+workloads::WorkloadOptions defaultOptions();
+
+/// Runs the workload Repeats times and returns the run whose wall time
+/// is the median (statistics are identical across runs by determinism).
+workloads::RunResult runMedian(workloads::WorkloadId W, BackendKind B,
+                               const workloads::WorkloadOptions &Opt,
+                               unsigned Repeats);
+
+/// Figure 9's split: total time on \p B, base time measured on the
+/// zero-cost Bump backend, memory time = max(0, total - base).
+struct TimeSplit {
+  double TotalMs = 0;
+  double BaseMs = 0;
+  double MemoryMs = 0;
+};
+TimeSplit timeSplit(workloads::WorkloadId W, BackendKind B,
+                    const workloads::WorkloadOptions &Opt, unsigned Repeats);
+
+/// Prints the standard experiment banner (what is being reproduced and
+/// with what knobs).
+void printBanner(const char *Title, const char *PaperRef);
+
+} // namespace harness
+} // namespace regions
+
+#endif // HARNESS_EXPERIMENT_H

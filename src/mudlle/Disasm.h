@@ -1,0 +1,128 @@
+//===- mudlle/Disasm.h - Bytecode disassembler ------------------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable disassembly of compiled mud functions, for compiler
+/// debugging and the compiler_pipeline example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUDLLE_DISASM_H
+#define MUDLLE_DISASM_H
+
+#include "mudlle/Bytecode.h"
+
+#include <string>
+
+namespace regions {
+namespace mud {
+
+inline const char *opName(Op O) {
+  switch (O) {
+  case Op::Nop:
+    return "nop";
+  case Op::PushImm:
+    return "push";
+  case Op::Load:
+    return "load";
+  case Op::Store:
+    return "store";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Div:
+    return "div";
+  case Op::Mod:
+    return "mod";
+  case Op::Neg:
+    return "neg";
+  case Op::Not:
+    return "not";
+  case Op::Lt:
+    return "lt";
+  case Op::Le:
+    return "le";
+  case Op::Gt:
+    return "gt";
+  case Op::Ge:
+    return "ge";
+  case Op::Eq:
+    return "eq";
+  case Op::Ne:
+    return "ne";
+  case Op::Jmp:
+    return "jmp";
+  case Op::Jz:
+    return "jz";
+  case Op::Jnz:
+    return "jnz";
+  case Op::Call:
+    return "call";
+  case Op::Ret:
+    return "ret";
+  case Op::Pop:
+    return "pop";
+  }
+  return "?";
+}
+
+/// True if the opcode's operand field is meaningful.
+inline bool opHasOperand(Op O) {
+  switch (O) {
+  case Op::PushImm:
+  case Op::Load:
+  case Op::Store:
+  case Op::Jmp:
+  case Op::Jz:
+  case Op::Jnz:
+  case Op::Call:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Disassembles one instruction word.
+inline std::string disassembleWord(std::uint32_t Word) {
+  Op O = opOf(Word);
+  std::string S = opName(O);
+  if (opHasOperand(O))
+    S += " " + std::to_string(operandOf(Word));
+  return S;
+}
+
+/// Disassembles a whole function into "index: insn" lines.
+template <class M>
+std::string disassemble(const CompiledFunction<M> &F) {
+  std::string Out;
+  Out += "fn ";
+  Out += F.Name ? F.Name : "?";
+  Out += " (params=" + std::to_string(F.NumParams) +
+         ", locals=" + std::to_string(F.NumLocals) + ")\n";
+  for (std::uint32_t I = 0; I != F.CodeLen; ++I) {
+    Out += "  " + std::to_string(I) + ": " + disassembleWord(F.Code[I]) +
+           "\n";
+  }
+  return Out;
+}
+
+/// Disassembles every function of a program.
+template <class M>
+std::string disassemble(const CompiledProgram<M> &Prog) {
+  std::string Out;
+  for (const CompiledFunction<M> *F = Prog.Functions; F;
+       F = F->Next)
+    Out += disassemble(*F);
+  return Out;
+}
+
+} // namespace mud
+} // namespace regions
+
+#endif // MUDLLE_DISASM_H

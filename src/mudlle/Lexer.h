@@ -1,0 +1,243 @@
+//===- mudlle/Lexer.h - Tokenizer for the mud language ---------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for "mud", our stand-in for the paper's mudlle benchmark
+/// (a byte-code compiler for a scheme-like language that keeps each
+/// file's AST in one region and per-function compile state in another).
+/// The language is a small expression language over integers:
+///
+///   fn add(a, b) { return a + b; }
+///   fn main()    { var s = 0; var i = 0;
+///                  while (i < 10) { s = s + add(i, i); i = i + 1; }
+///                  return s; }
+///
+/// The lexer itself allocates nothing; identifiers are copied into the
+/// AST region by the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUDLLE_LEXER_H
+#define MUDLLE_LEXER_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace regions {
+namespace mud {
+
+enum class TokKind : std::uint8_t {
+  Eof,
+  Error,
+  Ident,
+  Number,
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Assign, // =
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  Ne,
+  AndAnd,
+  OrOr,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  const char *Text = nullptr; ///< start of the lexeme in the source
+  std::uint32_t Len = 0;
+  std::int32_t Value = 0; ///< for Number
+  std::uint32_t Line = 1;
+
+  bool is(TokKind K) const { return Kind == K; }
+
+  bool textEquals(const char *S) const {
+    return std::strlen(S) == Len && std::memcmp(Text, S, Len) == 0;
+  }
+};
+
+/// Streaming tokenizer; no allocation, no lookahead state beyond one
+/// token (the parser keeps the current token).
+class Lexer {
+public:
+  explicit Lexer(const char *Source) : Cur(Source) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token T;
+    T.Line = Line;
+    T.Text = Cur;
+    char C = *Cur;
+    if (C == '\0') {
+      T.Kind = TokKind::Eof;
+      return T;
+    }
+    if (isDigit(C))
+      return lexNumber(T);
+    if (isIdentStart(C))
+      return lexIdent(T);
+    ++Cur;
+    T.Len = 1;
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      return T;
+    case ')':
+      T.Kind = TokKind::RParen;
+      return T;
+    case '{':
+      T.Kind = TokKind::LBrace;
+      return T;
+    case '}':
+      T.Kind = TokKind::RBrace;
+      return T;
+    case ',':
+      T.Kind = TokKind::Comma;
+      return T;
+    case ';':
+      T.Kind = TokKind::Semi;
+      return T;
+    case '+':
+      T.Kind = TokKind::Plus;
+      return T;
+    case '-':
+      T.Kind = TokKind::Minus;
+      return T;
+    case '*':
+      T.Kind = TokKind::Star;
+      return T;
+    case '/':
+      T.Kind = TokKind::Slash;
+      return T;
+    case '%':
+      T.Kind = TokKind::Percent;
+      return T;
+    case '=':
+      return twoChar(T, '=', TokKind::EqEq, TokKind::Assign);
+    case '<':
+      return twoChar(T, '=', TokKind::Le, TokKind::Lt);
+    case '>':
+      return twoChar(T, '=', TokKind::Ge, TokKind::Gt);
+    case '!':
+      return twoChar(T, '=', TokKind::Ne, TokKind::Bang);
+    case '&':
+      return pair(T, '&', TokKind::AndAnd);
+    case '|':
+      return pair(T, '|', TokKind::OrOr);
+    default:
+      T.Kind = TokKind::Error;
+      return T;
+    }
+  }
+
+private:
+  static bool isDigit(char C) { return C >= '0' && C <= '9'; }
+  static bool isIdentStart(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+  }
+  static bool isIdentChar(char C) { return isIdentStart(C) || isDigit(C); }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      while (*Cur == ' ' || *Cur == '\t' || *Cur == '\r' || *Cur == '\n') {
+        if (*Cur == '\n')
+          ++Line;
+        ++Cur;
+      }
+      if (Cur[0] == '/' && Cur[1] == '/') {
+        while (*Cur && *Cur != '\n')
+          ++Cur;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token lexNumber(Token T) {
+    std::int64_t V = 0;
+    while (isDigit(*Cur)) {
+      V = V * 10 + (*Cur - '0');
+      if (V > 0x7fffff)
+        V = 0x7fffff; // clamp to the 24-bit immediate range
+      ++Cur;
+    }
+    T.Kind = TokKind::Number;
+    T.Len = static_cast<std::uint32_t>(Cur - T.Text);
+    T.Value = static_cast<std::int32_t>(V);
+    return T;
+  }
+
+  Token lexIdent(Token T) {
+    while (isIdentChar(*Cur))
+      ++Cur;
+    T.Len = static_cast<std::uint32_t>(Cur - T.Text);
+    T.Kind = TokKind::Ident;
+    if (T.textEquals("fn"))
+      T.Kind = TokKind::KwFn;
+    else if (T.textEquals("var"))
+      T.Kind = TokKind::KwVar;
+    else if (T.textEquals("if"))
+      T.Kind = TokKind::KwIf;
+    else if (T.textEquals("else"))
+      T.Kind = TokKind::KwElse;
+    else if (T.textEquals("while"))
+      T.Kind = TokKind::KwWhile;
+    else if (T.textEquals("return"))
+      T.Kind = TokKind::KwReturn;
+    return T;
+  }
+
+  Token twoChar(Token T, char Second, TokKind IfPair, TokKind IfSingle) {
+    if (*Cur == Second) {
+      ++Cur;
+      T.Len = 2;
+      T.Kind = IfPair;
+    } else {
+      T.Kind = IfSingle;
+    }
+    return T;
+  }
+
+  Token pair(Token T, char Second, TokKind Kind) {
+    if (*Cur == Second) {
+      ++Cur;
+      T.Len = 2;
+      T.Kind = Kind;
+      return T;
+    }
+    T.Kind = TokKind::Error;
+    return T;
+  }
+
+  const char *Cur;
+  std::uint32_t Line = 1;
+};
+
+} // namespace mud
+} // namespace regions
+
+#endif // MUDLLE_LEXER_H

@@ -1,0 +1,412 @@
+//===- mudlle/Parser.h - Recursive-descent parser for mud ------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing an AST in the caller's scope
+/// (region). Errors are reported through a flag + message, not
+/// exceptions (the project builds with -fno-exceptions); the first
+/// error wins and parsing bails out promptly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUDLLE_PARSER_H
+#define MUDLLE_PARSER_H
+
+#include "mudlle/Ast.h"
+#include "mudlle/Lexer.h"
+
+namespace regions {
+namespace mud {
+
+template <class M> class Parser {
+public:
+  Parser(M &Mem, typename M::Token &AstScope, const char *Source)
+      : Mem(Mem), Scope(AstScope), Lex(Source) {
+    advance();
+  }
+
+  /// Parses a whole file into the AST scope. The SourceFile record
+  /// itself lives in the same region (sameregion links, as in the
+  /// paper's mudlle). On error, failed() is set and the file is
+  /// partial.
+  SourceFile<M> *parseFile() {
+    auto *File = node<SourceFile<M>>();
+    Function<M> *Last = nullptr;
+    while (!Tok.is(TokKind::Eof) && !Failed) {
+      Function<M> *F = parseFunction();
+      if (!F)
+        break;
+      if (Last)
+        Last->Next = F;
+      else
+        File->Functions = F;
+      Last = F;
+      ++File->NumFunctions;
+    }
+    File->NumNodes = NodeCount;
+    return File;
+  }
+
+  bool failed() const { return Failed; }
+  const char *errorMessage() const { return ErrorMsg; }
+  std::uint32_t errorLine() const { return ErrorLine; }
+  std::uint32_t nodeCount() const { return NodeCount; }
+
+private:
+  template <class T, class... Args> T *node(Args &&...A) {
+    ++NodeCount;
+    return Mem.template create<T>(Scope, std::forward<Args>(A)...);
+  }
+
+  void advance() { Tok = Lex.next(); }
+
+  void fail(const char *Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMsg = Msg;
+    ErrorLine = Tok.Line;
+  }
+
+  bool expect(TokKind K, const char *Msg) {
+    if (!Tok.is(K)) {
+      fail(Msg);
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  /// Copies the current identifier into the AST region.
+  const char *identName() {
+    return rcopy(Tok.Text, Tok.Len);
+  }
+
+  const char *rcopy(const char *S, std::uint32_t Len) {
+    auto *Copy = static_cast<char *>(Mem.allocBytes(Scope, Len + 1));
+    for (std::uint32_t I = 0; I != Len; ++I)
+      Copy[I] = S[I];
+    Copy[Len] = '\0';
+    return Copy;
+  }
+
+  Function<M> *parseFunction() {
+    if (!Tok.is(TokKind::KwFn)) {
+      fail("expected 'fn'");
+      return nullptr;
+    }
+    auto *F = node<Function<M>>();
+    F->Line = Tok.Line;
+    advance();
+    if (!Tok.is(TokKind::Ident)) {
+      fail("expected function name");
+      return nullptr;
+    }
+    F->Name = identName();
+    advance();
+    if (!expect(TokKind::LParen, "expected '(' after function name"))
+      return nullptr;
+    Param<M> *LastParam = nullptr;
+    while (Tok.is(TokKind::Ident)) {
+      auto *P = node<Param<M>>();
+      P->Name = identName();
+      advance();
+      if (LastParam)
+        LastParam->Next = P;
+      else
+        F->Params = P;
+      LastParam = P;
+      ++F->NumParams;
+      if (Tok.is(TokKind::Comma))
+        advance();
+      else
+        break;
+    }
+    if (!expect(TokKind::RParen, "expected ')' after parameters"))
+      return nullptr;
+    F->Body = parseBlock();
+    return Failed ? nullptr : F;
+  }
+
+  /// block := "{" stmt* "}"; returns the first statement of the chain.
+  Stmt<M> *parseBlock() {
+    if (!expect(TokKind::LBrace, "expected '{'"))
+      return nullptr;
+    Stmt<M> *First = nullptr, *Last = nullptr;
+    while (!Tok.is(TokKind::RBrace) && !Tok.is(TokKind::Eof) && !Failed) {
+      Stmt<M> *S = parseStmt();
+      if (!S)
+        break;
+      if (Last)
+        Last->Next = S;
+      else
+        First = S;
+      Last = S;
+    }
+    expect(TokKind::RBrace, "expected '}'");
+    return First;
+  }
+
+  Stmt<M> *parseStmt() {
+    std::uint32_t Line = Tok.Line;
+    if (Tok.is(TokKind::KwVar)) {
+      advance();
+      if (!Tok.is(TokKind::Ident)) {
+        fail("expected variable name after 'var'");
+        return nullptr;
+      }
+      auto *S = node<Stmt<M>>();
+      S->Kind = StmtKind::VarDecl;
+      S->Line = Line;
+      S->Name = identName();
+      advance();
+      if (!expect(TokKind::Assign, "expected '=' in var declaration"))
+        return nullptr;
+      S->Value = parseExpr();
+      expect(TokKind::Semi, "expected ';'");
+      return S;
+    }
+    if (Tok.is(TokKind::KwIf)) {
+      advance();
+      auto *S = node<Stmt<M>>();
+      S->Kind = StmtKind::If;
+      S->Line = Line;
+      expect(TokKind::LParen, "expected '(' after 'if'");
+      S->Value = parseExpr();
+      expect(TokKind::RParen, "expected ')' after condition");
+      S->Body = parseBlock();
+      if (Tok.is(TokKind::KwElse)) {
+        advance();
+        S->ElseBody = parseBlock();
+      }
+      return S;
+    }
+    if (Tok.is(TokKind::KwWhile)) {
+      advance();
+      auto *S = node<Stmt<M>>();
+      S->Kind = StmtKind::While;
+      S->Line = Line;
+      expect(TokKind::LParen, "expected '(' after 'while'");
+      S->Value = parseExpr();
+      expect(TokKind::RParen, "expected ')' after condition");
+      S->Body = parseBlock();
+      return S;
+    }
+    if (Tok.is(TokKind::KwReturn)) {
+      advance();
+      auto *S = node<Stmt<M>>();
+      S->Kind = StmtKind::Return;
+      S->Line = Line;
+      S->Value = parseExpr();
+      expect(TokKind::Semi, "expected ';'");
+      return S;
+    }
+    if (Tok.is(TokKind::Ident)) {
+      // Assignment needs two-token lookahead: remember the identifier,
+      // then check for '='.
+      Token Ident = Tok;
+      advance();
+      if (Tok.is(TokKind::Assign)) {
+        advance();
+        auto *S = node<Stmt<M>>();
+        S->Kind = StmtKind::Assign;
+        S->Line = Line;
+        S->Name = rcopy(Ident.Text, Ident.Len);
+        S->Value = parseExpr();
+        expect(TokKind::Semi, "expected ';'");
+        return S;
+      }
+      // Otherwise it begins an expression statement.
+      auto *S = node<Stmt<M>>();
+      S->Kind = StmtKind::ExprStmt;
+      S->Line = Line;
+      S->Value = continueExprFromIdent(Ident);
+      expect(TokKind::Semi, "expected ';'");
+      return S;
+    }
+    auto *S = node<Stmt<M>>();
+    S->Kind = StmtKind::ExprStmt;
+    S->Line = Line;
+    S->Value = parseExpr();
+    expect(TokKind::Semi, "expected ';'");
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+
+  Expr<M> *parseExpr() { return parseOr(); }
+
+  Expr<M> *parseOr() {
+    Expr<M> *L = parseAnd();
+    while (Tok.is(TokKind::OrOr) && !Failed) {
+      advance();
+      L = binary(BinOp::Or, L, parseAnd());
+    }
+    return L;
+  }
+
+  Expr<M> *parseAnd() {
+    Expr<M> *L = parseCmp();
+    while (Tok.is(TokKind::AndAnd) && !Failed) {
+      advance();
+      L = binary(BinOp::And, L, parseCmp());
+    }
+    return L;
+  }
+
+  Expr<M> *parseCmp() {
+    Expr<M> *L = parseAddSub();
+    BinOp Op;
+    if (Tok.is(TokKind::Lt))
+      Op = BinOp::Lt;
+    else if (Tok.is(TokKind::Le))
+      Op = BinOp::Le;
+    else if (Tok.is(TokKind::Gt))
+      Op = BinOp::Gt;
+    else if (Tok.is(TokKind::Ge))
+      Op = BinOp::Ge;
+    else if (Tok.is(TokKind::EqEq))
+      Op = BinOp::Eq;
+    else if (Tok.is(TokKind::Ne))
+      Op = BinOp::Ne;
+    else
+      return L;
+    advance();
+    return binary(Op, L, parseAddSub());
+  }
+
+  Expr<M> *parseAddSub() {
+    Expr<M> *L = parseMulDiv();
+    for (;;) {
+      BinOp Op;
+      if (Tok.is(TokKind::Plus))
+        Op = BinOp::Add;
+      else if (Tok.is(TokKind::Minus))
+        Op = BinOp::Sub;
+      else
+        return L;
+      advance();
+      L = binary(Op, L, parseMulDiv());
+      if (Failed)
+        return L;
+    }
+  }
+
+  Expr<M> *parseMulDiv() {
+    Expr<M> *L = parseUnary();
+    for (;;) {
+      BinOp Op;
+      if (Tok.is(TokKind::Star))
+        Op = BinOp::Mul;
+      else if (Tok.is(TokKind::Slash))
+        Op = BinOp::Div;
+      else if (Tok.is(TokKind::Percent))
+        Op = BinOp::Mod;
+      else
+        return L;
+      advance();
+      L = binary(Op, L, parseUnary());
+      if (Failed)
+        return L;
+    }
+  }
+
+  Expr<M> *parseUnary() {
+    if (Tok.is(TokKind::Minus) || Tok.is(TokKind::Bang)) {
+      UnOp Op = Tok.is(TokKind::Minus) ? UnOp::Neg : UnOp::Not;
+      std::uint32_t Line = Tok.Line;
+      advance();
+      auto *E = node<Expr<M>>();
+      E->Kind = ExprKind::Unary;
+      E->Un = Op;
+      E->Line = Line;
+      E->Lhs = parseUnary();
+      return E;
+    }
+    return parsePrimary();
+  }
+
+  Expr<M> *parsePrimary() {
+    if (Tok.is(TokKind::Number)) {
+      auto *E = node<Expr<M>>();
+      E->Kind = ExprKind::IntLit;
+      E->IntVal = Tok.Value;
+      E->Line = Tok.Line;
+      advance();
+      return E;
+    }
+    if (Tok.is(TokKind::LParen)) {
+      advance();
+      Expr<M> *E = parseExpr();
+      expect(TokKind::RParen, "expected ')'");
+      return E;
+    }
+    if (Tok.is(TokKind::Ident)) {
+      Token Ident = Tok;
+      advance();
+      return continueExprFromIdent(Ident);
+    }
+    fail("expected expression");
+    // Produce a dummy node so callers never dereference null.
+    auto *E = node<Expr<M>>();
+    E->Kind = ExprKind::IntLit;
+    return E;
+  }
+
+  /// Identifier already consumed: variable reference or call.
+  Expr<M> *continueExprFromIdent(const Token &Ident) {
+    auto *E = node<Expr<M>>();
+    E->Line = Ident.Line;
+    E->Name = rcopy(Ident.Text, Ident.Len);
+    if (!Tok.is(TokKind::LParen)) {
+      E->Kind = ExprKind::VarRef;
+      return E;
+    }
+    E->Kind = ExprKind::Call;
+    advance();
+    Expr<M> *LastArg = nullptr;
+    while (!Tok.is(TokKind::RParen) && !Failed) {
+      Expr<M> *Arg = parseExpr();
+      if (LastArg)
+        LastArg->Next = Arg;
+      else
+        E->Args = Arg;
+      LastArg = Arg;
+      if (Tok.is(TokKind::Comma))
+        advance();
+      else
+        break;
+    }
+    expect(TokKind::RParen, "expected ')' after arguments");
+    return E;
+  }
+
+  Expr<M> *binary(BinOp Op, Expr<M> *L, Expr<M> *R) {
+    auto *E = node<Expr<M>>();
+    E->Kind = ExprKind::Binary;
+    E->Bin = Op;
+    E->Lhs = L;
+    E->Rhs = R;
+    E->Line = L ? L->Line : 0;
+    return E;
+  }
+
+  M &Mem;
+  typename M::Token &Scope;
+  Lexer Lex;
+  Token Tok;
+  bool Failed = false;
+  const char *ErrorMsg = "";
+  std::uint32_t ErrorLine = 0;
+  std::uint32_t NodeCount = 0;
+};
+
+} // namespace mud
+} // namespace regions
+
+#endif // MUDLLE_PARSER_H

@@ -1,0 +1,191 @@
+//===- mudlle/ProgramGen.h - Deterministic mud program generator -*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates deterministic, terminating mud programs. The mudlle
+/// workload compiles "the same 500-line file 100 times" (paper §5.1);
+/// this generator produces that file. Programs always terminate: calls
+/// form a DAG (functions only call lower-numbered functions) and every
+/// while loop is a bounded counting loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUDLLE_PROGRAMGEN_H
+#define MUDLLE_PROGRAMGEN_H
+
+#include "support/Prng.h"
+
+#include <string>
+
+namespace regions {
+namespace mud {
+
+struct GenOptions {
+  unsigned NumFunctions = 25;
+  unsigned StmtsPerFunction = 5;
+  std::uint64_t Seed = 1;
+};
+
+/// Generates a self-contained program with a zero-argument main().
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(const GenOptions &Opt) : Opt(Opt), Rng(Opt.Seed) {
+    assert(Opt.NumFunctions <= 1024 && "raise the ParamCounts bound");
+  }
+
+  std::string generate() {
+    std::string Out;
+    for (unsigned F = 0; F < Opt.NumFunctions; ++F)
+      emitFunction(Out, F);
+    emitMain(Out);
+    return Out;
+  }
+
+private:
+  void emitFunction(std::string &Out, unsigned Index) {
+    FnIndex = Index;
+    NumParams = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+    ParamCounts[Index] = NumParams;
+    NumVars = 0;
+    Out += "fn f" + std::to_string(Index) + "(";
+    for (unsigned P = 0; P != NumParams; ++P) {
+      if (P)
+        Out += ", ";
+      Out += "p" + std::to_string(P);
+    }
+    Out += ") {\n";
+    // Accumulator so every statement contributes to the result.
+    Out += "  var acc = p0;\n";
+    ++NumVars;
+    unsigned Stmts = Opt.StmtsPerFunction / 2 +
+                     static_cast<unsigned>(
+                         Rng.nextBelow(Opt.StmtsPerFunction));
+    for (unsigned S = 0; S != Stmts; ++S)
+      emitStmt(Out, 1);
+    Out += "  return acc;\n}\n\n";
+  }
+
+  void emitMain(std::string &Out) {
+    Out += "fn main() {\n  var total = 0;\n";
+    for (unsigned F = 0; F < Opt.NumFunctions; ++F) {
+      Out += "  total = total + f" + std::to_string(F) + "(";
+      unsigned Params = ParamCounts[F];
+      for (unsigned P = 0; P != Params; ++P) {
+        if (P)
+          Out += ", ";
+        Out += std::to_string(Rng.nextBelow(100));
+      }
+      Out += ");\n";
+    }
+    Out += "  return total;\n}\n";
+  }
+
+  void emitStmt(std::string &Out, unsigned Depth) {
+    std::string Indent(2 * Depth, ' ');
+    switch (Rng.nextBelow(Depth >= 3 ? 3 : 5)) {
+    case 0: { // new variable
+      Out += Indent + "var v" + std::to_string(NumVars) + " = " +
+             expr(2) + ";\n";
+      ++NumVars;
+      return;
+    }
+    case 1: // accumulate
+      Out += Indent + "acc = acc + (" + expr(2) + ");\n";
+      return;
+    case 2: // assignment to an existing variable
+      Out += Indent + lvalue() + " = " + expr(2) + ";\n";
+      return;
+    case 3: { // bounded counting loop
+      std::string I = "i" + std::to_string(NumVars);
+      ++NumVars; // reserve the name (loop counters are ordinary vars)
+      std::uint64_t Bound = 2 + Rng.nextBelow(9);
+      Out += Indent + "var " + I + " = 0;\n";
+      Out += Indent + "while (" + I + " < " + std::to_string(Bound) +
+             ") {\n";
+      emitStmt(Out, Depth + 1);
+      Out += Indent + "  " + I + " = " + I + " + 1;\n";
+      Out += Indent + "}\n";
+      return;
+    }
+    case 4: // conditional
+      Out += Indent + "if (" + expr(1) + " % 2 == 0) {\n";
+      emitStmt(Out, Depth + 1);
+      Out += Indent + "} else {\n";
+      emitStmt(Out, Depth + 1);
+      Out += Indent + "}\n";
+      return;
+    }
+  }
+
+  std::string lvalue() {
+    if (NumVars == 0 || Rng.nextBool(0.3))
+      return "acc";
+    // Either a vN or an iN name; both were reserved in NumVars order.
+    // To stay simple (and always valid), assign to acc or p0.
+    return Rng.nextBool(0.5) ? std::string("acc") : std::string("p0");
+  }
+
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || Rng.nextBool(0.35))
+      return atom();
+    switch (Rng.nextBelow(6)) {
+    case 0:
+      return "(" + expr(Depth - 1) + " + " + expr(Depth - 1) + ")";
+    case 1:
+      return "(" + expr(Depth - 1) + " - " + expr(Depth - 1) + ")";
+    case 2:
+      return "(" + expr(Depth - 1) + " * " + atom() + ")";
+    case 3:
+      return "(" + expr(Depth - 1) + " / " + std::to_string(
+                 1 + Rng.nextBelow(9)) + ")";
+    case 4:
+      return "(" + expr(Depth - 1) + " % " + std::to_string(
+                 2 + Rng.nextBelow(97)) + ")";
+    default: {
+      // Call a previously defined function (keeps the call graph a DAG).
+      if (FnIndex == 0)
+        return atom();
+      unsigned Callee = static_cast<unsigned>(Rng.nextBelow(FnIndex));
+      std::string S = "f" + std::to_string(Callee) + "(";
+      for (unsigned P = 0; P != ParamCounts[Callee]; ++P) {
+        if (P)
+          S += ", ";
+        S += atom();
+      }
+      return S + ")";
+    }
+    }
+  }
+
+  std::string atom() {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      return std::to_string(Rng.nextBelow(1000));
+    case 1:
+      return "acc";
+    default:
+      return "p" + std::to_string(Rng.nextBelow(NumParams));
+    }
+  }
+
+  GenOptions Opt;
+  Prng Rng;
+  unsigned FnIndex = 0;
+  unsigned NumParams = 1;
+  unsigned NumVars = 0;
+  unsigned ParamCounts[1024] = {};
+
+public:
+  /// Generation also records each function's arity for call sites; this
+  /// must run before any call is emitted, so generate() fills it as it
+  /// goes. Exposed for tests.
+  const unsigned *paramCounts() const { return ParamCounts; }
+};
+
+} // namespace mud
+} // namespace regions
+
+#endif // MUDLLE_PROGRAMGEN_H

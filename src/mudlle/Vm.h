@@ -1,0 +1,252 @@
+//===- mudlle/Vm.h - Stack-machine interpreter for mud ---------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A straightforward stack-machine interpreter used to validate
+/// compiled programs (every backend must compute the same results) and
+/// by the compiler_pipeline example. The interpreter's own stacks are
+/// ordinary application memory; mud programs compute over integers and
+/// allocate nothing at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUDLLE_VM_H
+#define MUDLLE_VM_H
+
+#include "mudlle/Bytecode.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace regions {
+namespace mud {
+
+struct VmResult {
+  std::int64_t Value = 0;
+  bool Ok = false;
+  const char *Error = nullptr;
+  std::uint64_t Steps = 0;
+};
+
+/// Executes a compiled program.
+template <class M> class Vm {
+public:
+  explicit Vm(const CompiledProgram<M> &Prog) {
+    Functions.resize(Prog.NumFunctions);
+    for (const CompiledFunction<M> *F = Prog.Functions; F;
+         F = rawNext(F))
+      Functions[F->Index] = F;
+    MainIndex = Prog.MainIndex;
+  }
+
+  /// Runs function \p Index with \p Args. \p MaxSteps bounds execution.
+  VmResult call(std::uint32_t Index, const std::int64_t *Args,
+                std::uint32_t NumArgs, std::uint64_t MaxSteps = 100000000) {
+    VmResult R;
+    if (Index >= Functions.size() || !Functions[Index]) {
+      R.Error = "no such function";
+      return R;
+    }
+    const CompiledFunction<M> *F = Functions[Index];
+    if (NumArgs != F->NumParams) {
+      R.Error = "wrong number of arguments";
+      return R;
+    }
+
+    Stack.clear();
+    Frames.clear();
+    for (std::uint32_t I = 0; I != NumArgs; ++I)
+      Stack.push_back(Args[I]);
+    pushFrame(F);
+
+    std::uint64_t Steps = 0;
+    while (!Frames.empty()) {
+      if (++Steps > MaxSteps) {
+        R.Error = "step limit exceeded";
+        R.Steps = Steps;
+        return R;
+      }
+      Frame &Fr = Frames.back();
+      const CompiledFunction<M> *Cur = Fr.Fn;
+      if (Fr.Pc >= Cur->CodeLen) {
+        R.Error = "fell off the end of a function";
+        return R;
+      }
+      std::uint32_t Word = Cur->Code[Fr.Pc++];
+      std::int32_t Opnd = operandOf(Word);
+      switch (opOf(Word)) {
+      case Op::Nop:
+        break;
+      case Op::PushImm:
+        Stack.push_back(Opnd);
+        break;
+      case Op::Load:
+        Stack.push_back(Stack[Fr.Base + static_cast<std::uint32_t>(Opnd)]);
+        break;
+      case Op::Store:
+        Stack[Fr.Base + static_cast<std::uint32_t>(Opnd)] = Stack.back();
+        Stack.pop_back();
+        break;
+      case Op::Add:
+        // Wrapping arithmetic (via unsigned) keeps generated programs
+        // deterministic without signed-overflow UB.
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(A) +
+                                           static_cast<std::uint64_t>(B));
+        });
+        break;
+      case Op::Sub:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(A) -
+                                           static_cast<std::uint64_t>(B));
+        });
+        break;
+      case Op::Mul:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(A) *
+                                           static_cast<std::uint64_t>(B));
+        });
+        break;
+      case Op::Div:
+        binop([](std::int64_t A, std::int64_t B) {
+          if (B == 0 || (A == INT64_MIN && B == -1))
+            return std::int64_t{0};
+          return A / B;
+        });
+        break;
+      case Op::Mod:
+        binop([](std::int64_t A, std::int64_t B) {
+          if (B == 0 || (A == INT64_MIN && B == -1))
+            return std::int64_t{0};
+          return A % B;
+        });
+        break;
+      case Op::Neg:
+        Stack.back() = -Stack.back();
+        break;
+      case Op::Not:
+        Stack.back() = Stack.back() == 0;
+        break;
+      case Op::Lt:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(A < B);
+        });
+        break;
+      case Op::Le:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(A <= B);
+        });
+        break;
+      case Op::Gt:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(A > B);
+        });
+        break;
+      case Op::Ge:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(A >= B);
+        });
+        break;
+      case Op::Eq:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(A == B);
+        });
+        break;
+      case Op::Ne:
+        binop([](std::int64_t A, std::int64_t B) {
+          return static_cast<std::int64_t>(A != B);
+        });
+        break;
+      case Op::Jmp:
+        Fr.Pc = static_cast<std::uint32_t>(Opnd);
+        break;
+      case Op::Jz: {
+        std::int64_t V = Stack.back();
+        Stack.pop_back();
+        if (V == 0)
+          Fr.Pc = static_cast<std::uint32_t>(Opnd);
+        break;
+      }
+      case Op::Jnz: {
+        std::int64_t V = Stack.back();
+        Stack.pop_back();
+        if (V != 0)
+          Fr.Pc = static_cast<std::uint32_t>(Opnd);
+        break;
+      }
+      case Op::Call: {
+        const CompiledFunction<M> *Callee =
+            Functions[static_cast<std::uint32_t>(Opnd)];
+        pushFrame(Callee);
+        break;
+      }
+      case Op::Ret: {
+        std::int64_t V = Stack.back();
+        Stack.resize(Frames.back().Base);
+        Frames.pop_back();
+        Stack.push_back(V);
+        break;
+      }
+      case Op::Pop:
+        Stack.pop_back();
+        break;
+      }
+    }
+    R.Ok = true;
+    R.Value = Stack.back();
+    R.Steps = Steps;
+    return R;
+  }
+
+  /// Runs main() with no arguments.
+  VmResult runMain(std::uint64_t MaxSteps = 100000000) {
+    VmResult R;
+    if (MainIndex < 0) {
+      R.Error = "program has no main()";
+      return R;
+    }
+    return call(static_cast<std::uint32_t>(MainIndex), nullptr, 0, MaxSteps);
+  }
+
+private:
+  struct Frame {
+    const CompiledFunction<M> *Fn;
+    std::uint32_t Pc;
+    std::uint32_t Base; ///< stack index of local slot 0
+  };
+
+  static const CompiledFunction<M> *rawNext(const CompiledFunction<M> *F) {
+    return F->Next;
+  }
+
+  /// Arguments are on the stack already; extends them with zeroed
+  /// non-parameter locals.
+  void pushFrame(const CompiledFunction<M> *F) {
+    std::uint32_t Base =
+        static_cast<std::uint32_t>(Stack.size()) - F->NumParams;
+    for (std::uint32_t I = F->NumParams; I < F->NumLocals; ++I)
+      Stack.push_back(0);
+    Frames.push_back(Frame{F, 0, Base});
+  }
+
+  template <class Fn> void binop(Fn Apply) {
+    std::int64_t B = Stack.back();
+    Stack.pop_back();
+    std::int64_t A = Stack.back();
+    Stack.back() = Apply(A, B);
+  }
+
+  std::vector<const CompiledFunction<M> *> Functions;
+  std::vector<std::int64_t> Stack;
+  std::vector<Frame> Frames;
+  std::int32_t MainIndex = -1;
+};
+
+} // namespace mud
+} // namespace regions
+
+#endif // MUDLLE_VM_H

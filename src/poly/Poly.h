@@ -1,0 +1,371 @@
+//===- poly/Poly.h - Multivariate polynomials over GF(p) -------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse multivariate polynomials over a small prime field, the
+/// substrate of the paper's "grobner" benchmark (Gröbner bases of
+/// nine-variable polynomial systems). Term arrays are immutable and
+/// arena-allocated: every arithmetic result is a fresh allocation, so
+/// reduction sequences generate the benchmark's characteristic churn of
+/// short-lived medium-size objects.
+///
+/// Monomial order: graded reverse lexicographic (grevlex).
+/// Coefficients: GF(32003), the classic computer-algebra test prime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLY_POLY_H
+#define POLY_POLY_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace regions {
+
+inline constexpr unsigned kMaxVars = 9;
+inline constexpr std::uint32_t kFieldPrime = 32003;
+
+/// Field helpers over GF(kFieldPrime).
+inline std::uint32_t fieldAdd(std::uint32_t A, std::uint32_t B) {
+  std::uint32_t S = A + B;
+  return S >= kFieldPrime ? S - kFieldPrime : S;
+}
+inline std::uint32_t fieldSub(std::uint32_t A, std::uint32_t B) {
+  return A >= B ? A - B : A + kFieldPrime - B;
+}
+inline std::uint32_t fieldMul(std::uint32_t A, std::uint32_t B) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(A) * B) % kFieldPrime);
+}
+inline std::uint32_t fieldPow(std::uint32_t A, std::uint32_t E) {
+  std::uint32_t R = 1;
+  while (E) {
+    if (E & 1)
+      R = fieldMul(R, A);
+    A = fieldMul(A, A);
+    E >>= 1;
+  }
+  return R;
+}
+inline std::uint32_t fieldInv(std::uint32_t A) {
+  assert(A % kFieldPrime != 0 && "inverting zero");
+  return fieldPow(A, kFieldPrime - 2);
+}
+
+/// A power product x0^e0 ... x8^e8 with cached total degree.
+struct Monomial {
+  std::uint8_t Exp[kMaxVars] = {};
+  std::uint8_t Total = 0;
+
+  static Monomial one() { return Monomial{}; }
+
+  static Monomial var(unsigned I, std::uint8_t E = 1) {
+    Monomial M;
+    M.Exp[I] = E;
+    M.Total = E;
+    return M;
+  }
+
+  Monomial times(const Monomial &O) const {
+    Monomial R;
+    unsigned Total = 0;
+    for (unsigned I = 0; I != kMaxVars; ++I) {
+      unsigned E = Exp[I] + O.Exp[I];
+      assert(E < 256 && "exponent overflow");
+      R.Exp[I] = static_cast<std::uint8_t>(E);
+      Total += E;
+    }
+    R.Total = static_cast<std::uint8_t>(Total);
+    return R;
+  }
+
+  bool divides(const Monomial &O) const {
+    for (unsigned I = 0; I != kMaxVars; ++I)
+      if (Exp[I] > O.Exp[I])
+        return false;
+    return true;
+  }
+
+  /// This / O; requires O.divides(*this) == false... requires O | this.
+  Monomial dividedBy(const Monomial &O) const {
+    assert(O.divides(*this) && "non-exact monomial division");
+    Monomial R;
+    unsigned Total = 0;
+    for (unsigned I = 0; I != kMaxVars; ++I) {
+      R.Exp[I] = static_cast<std::uint8_t>(Exp[I] - O.Exp[I]);
+      Total += R.Exp[I];
+    }
+    R.Total = static_cast<std::uint8_t>(Total);
+    return R;
+  }
+
+  Monomial lcmWith(const Monomial &O) const {
+    Monomial R;
+    unsigned Total = 0;
+    for (unsigned I = 0; I != kMaxVars; ++I) {
+      R.Exp[I] = Exp[I] > O.Exp[I] ? Exp[I] : O.Exp[I];
+      Total += R.Exp[I];
+    }
+    R.Total = static_cast<std::uint8_t>(Total);
+    return R;
+  }
+
+  bool isOne() const { return Total == 0; }
+
+  bool coprimeWith(const Monomial &O) const {
+    for (unsigned I = 0; I != kMaxVars; ++I)
+      if (Exp[I] && O.Exp[I])
+        return false;
+    return true;
+  }
+
+  bool equals(const Monomial &O) const {
+    return std::memcmp(Exp, O.Exp, kMaxVars) == 0;
+  }
+};
+
+/// Grevlex comparison: -1 if A < B, 0 if equal, +1 if A > B.
+inline int monomialCompare(const Monomial &A, const Monomial &B) {
+  if (A.Total != B.Total)
+    return A.Total < B.Total ? -1 : 1;
+  // Reverse lex on the reversed exponent vector: the monomial with the
+  // *smaller* exponent in the last differing variable is larger.
+  for (unsigned I = kMaxVars; I-- > 0;) {
+    if (A.Exp[I] != B.Exp[I])
+      return A.Exp[I] > B.Exp[I] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// One coefficient-monomial pair.
+struct Term {
+  std::uint32_t Coeff = 0;
+  Monomial Mono;
+};
+
+/// An immutable polynomial: terms sorted in strictly decreasing
+/// monomial order, no zero coefficients. Terms live in an arena.
+struct Poly {
+  const Term *Terms = nullptr;
+  std::uint32_t NumTerms = 0;
+
+  bool isZero() const { return NumTerms == 0; }
+  const Term &lead() const {
+    assert(NumTerms && "lead of zero polynomial");
+    return Terms[0];
+  }
+  unsigned degree() const { return NumTerms ? Terms[0].Mono.Total : 0; }
+
+  /// Order-insensitive content hash (for checksums).
+  std::uint64_t hash() const {
+    std::uint64_t H = 0x9e3779b97f4a7c15ULL;
+    for (std::uint32_t I = 0; I != NumTerms; ++I) {
+      std::uint64_t T = Terms[I].Coeff;
+      for (unsigned V = 0; V != kMaxVars; ++V)
+        T = T * 131 + Terms[I].Mono.Exp[V];
+      H ^= T + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    }
+    return H ^ NumTerms;
+  }
+};
+
+/// Builds polynomials in an Arena (see bignum/Nat.h for the concept).
+template <class Arena> class PolyBuilder {
+public:
+  explicit PolyBuilder(Arena &A) : A(A) {}
+
+  /// Builds a polynomial from unsorted, possibly-duplicated terms.
+  Poly normalize(const Term *Raw, std::uint32_t N) {
+    // Insertion sort into a scratch buffer (N is small in practice).
+    Term *Buf = allocTerms(N);
+    std::uint32_t Len = 0;
+    for (std::uint32_t I = 0; I != N; ++I) {
+      if (Raw[I].Coeff % kFieldPrime == 0)
+        continue;
+      Term T{Raw[I].Coeff % kFieldPrime, Raw[I].Mono};
+      // Find position (descending order).
+      std::uint32_t Pos = 0;
+      while (Pos < Len && monomialCompare(Buf[Pos].Mono, T.Mono) > 0)
+        ++Pos;
+      if (Pos < Len && Buf[Pos].Mono.equals(T.Mono)) {
+        Buf[Pos].Coeff = fieldAdd(Buf[Pos].Coeff, T.Coeff);
+        continue;
+      }
+      for (std::uint32_t J = Len; J > Pos; --J)
+        Buf[J] = Buf[J - 1];
+      Buf[Pos] = T;
+      ++Len;
+    }
+    // Drop cancelled terms.
+    std::uint32_t Out = 0;
+    for (std::uint32_t I = 0; I != Len; ++I)
+      if (Buf[I].Coeff != 0)
+        Buf[Out++] = Buf[I];
+    return Poly{Buf, Out};
+  }
+
+  Poly zero() { return Poly{}; }
+
+  Poly constant(std::uint32_t C) {
+    if (C % kFieldPrime == 0)
+      return Poly{};
+    Term *T = allocTerms(1);
+    T[0] = {C % kFieldPrime, Monomial::one()};
+    return Poly{T, 1};
+  }
+
+  Poly monomial(std::uint32_t C, const Monomial &M) {
+    if (C % kFieldPrime == 0)
+      return Poly{};
+    Term *T = allocTerms(1);
+    T[0] = {C % kFieldPrime, M};
+    return Poly{T, 1};
+  }
+
+  /// Merge-adds two polynomials.
+  Poly add(Poly X, Poly Y) {
+    Term *Buf = allocTerms(X.NumTerms + Y.NumTerms);
+    std::uint32_t I = 0, J = 0, Out = 0;
+    while (I < X.NumTerms && J < Y.NumTerms) {
+      int C = monomialCompare(X.Terms[I].Mono, Y.Terms[J].Mono);
+      if (C > 0) {
+        Buf[Out++] = X.Terms[I++];
+      } else if (C < 0) {
+        Buf[Out++] = Y.Terms[J++];
+      } else {
+        std::uint32_t S = fieldAdd(X.Terms[I].Coeff, Y.Terms[J].Coeff);
+        if (S)
+          Buf[Out++] = Term{S, X.Terms[I].Mono};
+        ++I;
+        ++J;
+      }
+    }
+    while (I < X.NumTerms)
+      Buf[Out++] = X.Terms[I++];
+    while (J < Y.NumTerms)
+      Buf[Out++] = Y.Terms[J++];
+    return Poly{Buf, Out};
+  }
+
+  Poly negate(Poly X) {
+    Term *Buf = allocTerms(X.NumTerms);
+    for (std::uint32_t I = 0; I != X.NumTerms; ++I)
+      Buf[I] = Term{fieldSub(0, X.Terms[I].Coeff), X.Terms[I].Mono};
+    return Poly{Buf, X.NumTerms};
+  }
+
+  Poly sub(Poly X, Poly Y) { return add(X, negate(Y)); }
+
+  /// X * (C * M) — the workhorse of reduction.
+  Poly mulTerm(Poly X, std::uint32_t C, const Monomial &M) {
+    if (C % kFieldPrime == 0 || X.isZero())
+      return Poly{};
+    Term *Buf = allocTerms(X.NumTerms);
+    for (std::uint32_t I = 0; I != X.NumTerms; ++I)
+      Buf[I] = Term{fieldMul(X.Terms[I].Coeff, C), X.Terms[I].Mono.times(M)};
+    return Poly{Buf, X.NumTerms};
+  }
+
+  Poly mul(Poly X, Poly Y) {
+    Poly Acc = zero();
+    for (std::uint32_t I = 0; I != Y.NumTerms; ++I)
+      Acc = add(Acc, mulTerm(X, Y.Terms[I].Coeff, Y.Terms[I].Mono));
+    return Acc;
+  }
+
+  /// Scales so the leading coefficient is 1.
+  Poly makeMonic(Poly X) {
+    if (X.isZero() || X.lead().Coeff == 1)
+      return X;
+    return mulTerm(X, fieldInv(X.lead().Coeff), Monomial::one());
+  }
+
+  /// The S-polynomial of F and G.
+  Poly sPoly(Poly F, Poly G) {
+    assert(!F.isZero() && !G.isZero() && "sPoly of zero");
+    Monomial L = F.lead().Mono.lcmWith(G.lead().Mono);
+    Poly A = mulTerm(F, fieldInv(F.lead().Coeff),
+                     L.dividedBy(F.lead().Mono));
+    Poly B = mulTerm(G, fieldInv(G.lead().Coeff),
+                     L.dividedBy(G.lead().Mono));
+    return sub(A, B);
+  }
+
+  /// Fully reduces F modulo the polynomials Basis[0..N). Returns the
+  /// normal form (monic when nonzero). ReductionSteps, if given, counts
+  /// elementary reductions (workload statistics).
+  Poly reduce(Poly F, const Poly *Basis, std::uint32_t N,
+              std::uint64_t *ReductionSteps = nullptr) {
+    Poly Rem = zero();
+    Poly Cur = F;
+    while (!Cur.isZero()) {
+      bool Reduced = false;
+      for (std::uint32_t I = 0; I != N; ++I) {
+        const Poly &G = Basis[I];
+        if (G.isZero() || !G.lead().Mono.divides(Cur.lead().Mono))
+          continue;
+        std::uint32_t C =
+            fieldMul(Cur.lead().Coeff, fieldInv(G.lead().Coeff));
+        Monomial M = Cur.lead().Mono.dividedBy(G.lead().Mono);
+        Cur = sub(Cur, mulTerm(G, C, M));
+        if (ReductionSteps)
+          ++*ReductionSteps;
+        Reduced = true;
+        break;
+      }
+      if (!Reduced) {
+        // Move the irreducible lead term to the remainder.
+        Rem = add(Rem, monomial(Cur.lead().Coeff, Cur.lead().Mono));
+        Term *Tail = allocTerms(Cur.NumTerms - 1);
+        std::memcpy(Tail, Cur.Terms + 1, (Cur.NumTerms - 1) * sizeof(Term));
+        Cur = Poly{Tail, Cur.NumTerms - 1};
+      }
+    }
+    return makeMonic(Rem);
+  }
+
+  /// Deep-copies a polynomial into this builder's arena (used to move
+  /// basis elements into a result region, like the paper's grobner
+  /// change that copies basis polynomials to a result region).
+  Poly copy(Poly X) {
+    Term *Buf = allocTerms(X.NumTerms);
+    std::memcpy(Buf, X.Terms, X.NumTerms * sizeof(Term));
+    return Poly{Buf, X.NumTerms};
+  }
+
+  /// Human-readable rendering (tests/diagnostics; C++ heap).
+  std::string render(Poly X) {
+    if (X.isZero())
+      return "0";
+    std::string S;
+    for (std::uint32_t I = 0; I != X.NumTerms; ++I) {
+      if (I)
+        S += " + ";
+      S += std::to_string(X.Terms[I].Coeff);
+      for (unsigned V = 0; V != kMaxVars; ++V) {
+        if (!X.Terms[I].Mono.Exp[V])
+          continue;
+        S += "*x" + std::to_string(V);
+        if (X.Terms[I].Mono.Exp[V] > 1)
+          S += "^" + std::to_string(X.Terms[I].Mono.Exp[V]);
+      }
+    }
+    return S;
+  }
+
+private:
+  Term *allocTerms(std::uint32_t N) {
+    return static_cast<Term *>(A.alloc(N * sizeof(Term)));
+  }
+
+  Arena &A;
+};
+
+} // namespace regions
+
+#endif // POLY_POLY_H

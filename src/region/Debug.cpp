@@ -1,0 +1,101 @@
+//===- region/Debug.cpp - Region debugging aids ---------------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Debug.h"
+#include "region/PageMap.h"
+#include "region/RuntimeStack.h"
+
+#include <cinttypes>
+
+using namespace regions;
+
+DeletionDiagnosis regions::diagnoseDeletion(Region *R,
+                                            void *const *HandleSlot,
+                                            bool HandleCounted) {
+  DeletionDiagnosis D;
+  const SafetyConfig &Cfg = R->manager().config();
+  if (!Cfg.RefCounts && !Cfg.StackScan) {
+    D.WouldSucceed = true; // unsafe regions delete unconditionally
+    return D;
+  }
+
+  auto &Stack = rt::RuntimeStack::current();
+
+  // How much of the count belongs to the excluded handle right now.
+  long long HandleInCount = 0;
+  if (HandleCounted) {
+    HandleInCount = Cfg.RefCounts ? 1 : 0;
+  } else if (HandleSlot && Cfg.StackScan &&
+             Stack.locate(HandleSlot) ==
+                 rt::RuntimeStack::SlotLocation::Scanned) {
+    HandleInCount = 1;
+  }
+  D.CountedRefs = R->referenceCount() - HandleInCount;
+
+  // Unscanned-frame locals pointing into R (they would be found by the
+  // deletion-time scan or the transient top-frame count).
+  if (Cfg.StackScan) {
+    for (std::size_t I = Stack.scannedSlotCount(), E = Stack.slotCount();
+         I != E; ++I) {
+      void *const *Slot = Stack.slotAddress(I);
+      if (Slot == HandleSlot)
+        continue;
+      void *Value = Stack.slotValue(I);
+      if (regionOf(Value) != R)
+        continue;
+      D.BlockingStackSlots.push_back(Slot);
+      D.BlockingStackValues.push_back(Value);
+    }
+  }
+
+  D.WouldSucceed =
+      D.CountedRefs == 0 && D.BlockingStackSlots.empty();
+  return D;
+}
+
+void regions::printDiagnosis(const DeletionDiagnosis &D, Region *R,
+                             std::FILE *Out) {
+  std::fprintf(Out, "region %u (%" PRIu64 " objects, %" PRIu64
+                    " bytes): deletion would %s\n",
+               R->id(), static_cast<std::uint64_t>(R->allocCount()),
+               static_cast<std::uint64_t>(R->requestedBytes()),
+               D.WouldSucceed ? "succeed" : "FAIL");
+  if (D.WouldSucceed)
+    return;
+  if (D.CountedRefs != 0)
+    std::fprintf(Out,
+                 "  %lld counted reference(s) from other regions, global "
+                 "storage, or scanned frames\n",
+                 D.CountedRefs);
+  for (std::size_t I = 0; I != D.BlockingStackSlots.size(); ++I)
+    std::fprintf(Out, "  live local at %p still points to %p\n",
+                 static_cast<const void *>(D.BlockingStackSlots[I]),
+                 D.BlockingStackValues[I]);
+}
+
+void regions::printManagerReport(const RegionManager &Mgr, std::FILE *Out) {
+  const RegionStats &S = Mgr.stats();
+  std::fprintf(Out, "RegionManager report\n");
+  std::fprintf(Out, "  config: refcounts=%d stackscan=%d cleanup=%d "
+                    "zero=%d\n",
+               Mgr.config().RefCounts, Mgr.config().StackScan,
+               Mgr.config().CleanupScan, Mgr.config().ZeroMemory);
+  std::fprintf(Out, "  regions: %" PRIu64 " total, %" PRIu64
+                    " live (max %" PRIu64 ")\n",
+               S.TotalRegions, S.LiveRegions, S.MaxLiveRegions);
+  std::fprintf(Out, "  allocations: %" PRIu64 " (%" PRIu64
+                    " bytes requested, max live %" PRIu64 ")\n",
+               S.TotalAllocs, S.TotalRequestedBytes,
+               S.MaxLiveRequestedBytes);
+  std::fprintf(Out, "  os memory: %zu bytes\n", Mgr.osBytes());
+  std::fprintf(Out, "  deletions: %" PRIu64 " attempts, %" PRIu64
+                    " refused\n",
+               S.DeleteAttempts, S.DeleteFailures);
+  std::fprintf(Out, "  barriers: %" PRIu64 " stores, %" PRIu64
+                    " sameregion, %" PRIu64 " count adjustments\n",
+               S.BarrierStores, S.BarrierSameRegion, S.BarrierAdjustments);
+  std::fprintf(Out, "  cleanups run: %" PRIu64 "\n", S.CleanupThunksRun);
+}

@@ -1,0 +1,48 @@
+//===- region/PageMap.cpp - Address-to-region mapping --------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/PageMap.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace regions {
+namespace detail {
+
+ArenaInfo GArenas[kMaxArenas];
+unsigned GNumArenas = 0;
+
+namespace {
+/// Guards registry mutation; regionOf reads without the lock, which is
+/// safe because managers are created/destroyed at thread quiescence
+/// points (construction happens-before any allocation they serve).
+std::mutex GArenaLock;
+} // namespace
+
+void registerArena(const void *Base, std::size_t NumPages,
+                   Region *const *Map) {
+  std::lock_guard<std::mutex> Guard(GArenaLock);
+  if (GNumArenas == kMaxArenas)
+    reportFatalError("too many live RegionManagers (arena registry full)");
+  auto Addr = reinterpret_cast<std::uintptr_t>(Base);
+  GArenas[GNumArenas++] = {Addr, Addr + NumPages * kPageSize, Map};
+}
+
+void unregisterArena(const void *Base) {
+  std::lock_guard<std::mutex> Guard(GArenaLock);
+  auto Addr = reinterpret_cast<std::uintptr_t>(Base);
+  for (unsigned I = 0; I != GNumArenas; ++I) {
+    if (GArenas[I].Base != Addr)
+      continue;
+    GArenas[I] = GArenas[--GNumArenas];
+    return;
+  }
+  assert(false && "unregisterArena: arena was never registered");
+}
+
+} // namespace detail
+} // namespace regions

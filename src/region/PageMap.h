@@ -1,0 +1,69 @@
+//===- region/PageMap.h - Address-to-region mapping ------------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's allocators "maintain an array mapping page addresses
+/// (i.e., memory addresses / 4K) to regions" (§4.1); \c regionOf is the
+/// primitive every reference-count operation is built on. Each
+/// RegionManager reserves one contiguous arena, so the map is a flat
+/// array indexed by page number within the arena. A small global arena
+/// registry lets \c regionOf classify *any* pointer: addresses outside
+/// every arena (stack, globals, malloc memory) yield nullptr, which is
+/// exactly the "not in a region" answer the write barrier needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGION_PAGEMAP_H
+#define REGION_PAGEMAP_H
+
+#include "support/Align.h"
+
+#include <cstdint>
+
+namespace regions {
+
+class Region;
+
+namespace detail {
+
+/// One registered arena: [Base, End) plus its page-to-region map.
+struct ArenaInfo {
+  std::uintptr_t Base;
+  std::uintptr_t End;
+  Region *const *Map;
+};
+
+inline constexpr unsigned kMaxArenas = 32;
+
+extern ArenaInfo GArenas[kMaxArenas];
+extern unsigned GNumArenas;
+
+/// Registers \p Map for [Base, Base + NumPages*kPageSize). Fatal if the
+/// registry is full. Called by RegionManager construction.
+void registerArena(const void *Base, std::size_t NumPages,
+                   Region *const *Map);
+
+/// Removes a previously registered arena.
+void unregisterArena(const void *Base);
+
+} // namespace detail
+
+/// Returns the region containing \p Ptr, or nullptr if \p Ptr does not
+/// point into any live region's pages (stack, global, malloc or freed
+/// memory). Interior pointers resolve to their region, as in the paper.
+inline Region *regionOf(const void *Ptr) {
+  auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+  for (unsigned I = 0, E = detail::GNumArenas; I != E; ++I) {
+    const detail::ArenaInfo &A = detail::GArenas[I];
+    if (Addr - A.Base < A.End - A.Base)
+      return A.Map[(Addr - A.Base) >> kPageShift];
+  }
+  return nullptr;
+}
+
+} // namespace regions
+
+#endif // REGION_PAGEMAP_H

@@ -1,0 +1,58 @@
+//===- region/Parallel.cpp - Regions for explicit parallelism -------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Parallel.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+
+using namespace regions;
+using namespace regions::par;
+
+ParallelSpace::~ParallelSpace() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (SharedRegion *S : Regions)
+    delete S;
+}
+
+unsigned ParallelSpace::registerThread() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (NextThread == kMaxThreads)
+    reportFatalError("ParallelSpace: too many threads registered");
+  return NextThread++;
+}
+
+SharedRegion *ParallelSpace::share(Region *R) {
+  assert(R && "sharing a null region");
+  auto *S = new SharedRegion();
+  S->R = R;
+  std::lock_guard<std::mutex> Guard(Lock);
+  Regions.push_back(S);
+  return S;
+}
+
+bool ParallelSpace::tryDelete(SharedRegion *S) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (S->Deleted)
+    return false;
+  if (S->totalCount() != 0)
+    return false;
+  Region *R = S->R;
+  bool Ok = R->manager().deleteRegionRaw(R);
+  assert(Ok && "shared deletion uses the unchecked single-thread path");
+  (void)Ok;
+  S->R = nullptr;
+  S->Deleted = true;
+  return true;
+}
+
+std::size_t ParallelSpace::liveSharedRegions() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::size_t Live = 0;
+  for (const SharedRegion *S : Regions)
+    Live += !S->Deleted;
+  return Live;
+}

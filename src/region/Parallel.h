@@ -1,0 +1,137 @@
+//===- region/Parallel.h - Regions for explicit parallelism ----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's parallel extension (§1): "region-based memory management
+/// can be used nearly unchanged in an explicitly-parallel programming
+/// language. The only operations that require synchronization amongst
+/// all processes are region creation and deletion. Each process keeps a
+/// local reference count for each region which counts the references
+/// created or deleted by that process. A region can be deleted if the
+/// sum of all its local reference counts is zero. Writes of references
+/// to regions must be done with an atomic exchange ... however the
+/// local reference counts can be adjusted without synchronization or
+/// communication."
+///
+/// Model: each thread owns a RegionManager (allocation never races);
+/// regions shared between threads are registered with a ParallelSpace,
+/// which keeps one cache-line-padded local count per thread. Shared
+/// pointer slots are std::atomic; sharedExchange() performs the atomic
+/// exchange and adjusts only the calling thread's local counts — a
+/// thread's count may go negative (it dropped references another
+/// thread created); only the sum matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGION_PARALLEL_H
+#define REGION_PARALLEL_H
+
+#include "region/PageMap.h"
+#include "region/Region.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace regions {
+namespace par {
+
+inline constexpr unsigned kMaxThreads = 32;
+
+/// A region shared between threads, with per-thread local counts.
+class SharedRegion {
+public:
+  Region *region() const { return R; }
+
+  /// Sum of all local counts: the region's true external reference
+  /// count. Only meaningful under the space's deletion lock (counts
+  /// keep moving otherwise).
+  std::int64_t totalCount() const {
+    std::int64_t Sum = 0;
+    for (unsigned I = 0; I != kMaxThreads; ++I)
+      Sum += Local[I].Count.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+private:
+  friend class ParallelSpace;
+
+  struct alignas(64) PaddedCount {
+    // Relaxed atomics: each slot is written by one thread only; other
+    // threads read it only under the deletion protocol.
+    std::atomic<std::int64_t> Count{0};
+  };
+
+  Region *R = nullptr;
+  PaddedCount Local[kMaxThreads];
+  bool Deleted = false;
+};
+
+/// Coordinates shared regions between threads (the paper's global
+/// synchronization point for creation and deletion).
+class ParallelSpace {
+public:
+  ParallelSpace() = default;
+  ParallelSpace(const ParallelSpace &) = delete;
+  ParallelSpace &operator=(const ParallelSpace &) = delete;
+  ~ParallelSpace();
+
+  /// Assigns the calling context a thread slot [0, kMaxThreads).
+  unsigned registerThread();
+
+  /// Wraps a region created by the calling thread's manager as shared.
+  /// Creation synchronizes on the space lock (paper's requirement).
+  /// The creating handle is not counted: like deleteregion's *x, the
+  /// creator transfers its reference into the space.
+  SharedRegion *share(Region *R);
+
+  /// Adjusts the calling thread's local count for \p S — no
+  /// synchronization, no communication (paper's fast path).
+  void addRef(SharedRegion *S, unsigned Tid) {
+    S->Local[Tid].Count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void dropRef(SharedRegion *S, unsigned Tid) {
+    S->Local[Tid].Count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// The paper's shared-slot write: atomically exchanges \p Slot to
+  /// \p NewVal and adjusts only the calling thread's local counts for
+  /// the regions the old and new values point into. \p NewShared /
+  /// \p OldOf map a pointer to its SharedRegion (null for non-shared
+  /// memory). Returns the previous value.
+  template <class T>
+  T *sharedExchange(std::atomic<T *> &Slot, T *NewVal,
+                    SharedRegion *NewShared, SharedRegion *OldShared,
+                    unsigned Tid) {
+    if (NewShared)
+      addRef(NewShared, Tid);
+    T *Old = Slot.exchange(NewVal, std::memory_order_acq_rel);
+    // The exchange makes the count adjustment safe under races: the
+    // value we displaced is exactly the reference we drop.
+    if (OldShared && Old)
+      dropRef(OldShared, Tid);
+    return Old;
+  }
+
+  /// Attempts to delete the shared region: synchronizes, sums the
+  /// local counts, and destroys the region iff the sum is zero.
+  /// The caller must guarantee the owning manager is quiescent.
+  bool tryDelete(SharedRegion *S);
+
+  /// Number of shared regions not yet deleted (diagnostics).
+  std::size_t liveSharedRegions() const;
+
+private:
+  mutable std::mutex Lock;
+  std::vector<SharedRegion *> Regions;
+  unsigned NextThread = 0;
+};
+
+} // namespace par
+} // namespace regions
+
+#endif // REGION_PARALLEL_H

@@ -1,0 +1,290 @@
+//===- region/Region.cpp - Explicit region memory management -------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Region.h"
+#include "region/RuntimeStack.h"
+#include "support/Compiler.h"
+
+#include <cstring>
+
+using namespace regions;
+using detail::PageHeader;
+using detail::PageKind;
+
+static_assert(std::is_standard_layout_v<Region>, "Region lives in raw pages");
+static_assert(std::is_trivially_destructible_v<Region>,
+              "Region is reclaimed as raw pages, never destroyed");
+
+namespace {
+
+PageHeader *headerOf(char *Page) { return reinterpret_cast<PageHeader *>(Page); }
+
+/// Writes the NULL end marker the region scan stops at (Figure 7), if
+/// there is room for another object header on the page.
+void writeEndMarker(char *Page, std::uint32_t Offset) {
+  if (Offset + sizeof(ScanThunk) <= kPageSize)
+    *reinterpret_cast<ScanThunk *>(Page + Offset) = nullptr;
+}
+
+} // namespace
+
+RegionManager::RegionManager(SafetyConfig Config, std::size_t ReserveBytes)
+    : Source(ReserveBytes), Cfg(Config) {
+  Map = static_cast<Region **>(
+      std::calloc(Source.reservedPages(), sizeof(Region *)));
+  if (!Map)
+    reportFatalError("RegionManager: cannot allocate page map");
+  detail::registerArena(Source.base(), Source.reservedPages(), Map);
+}
+
+RegionManager::~RegionManager() {
+  detail::unregisterArena(Source.base());
+  std::free(Map);
+}
+
+void RegionManager::setMapRange(const void *Page, std::size_t NumPages,
+                                Region *R) {
+  std::size_t Idx = Source.pageIndex(Page);
+  for (std::size_t I = 0; I != NumPages; ++I)
+    Map[Idx + I] = R;
+}
+
+char *RegionManager::newPage(Region *R, PageKind Kind) {
+  char *Page = static_cast<char *>(Source.allocPages(1));
+  Region::BumpList &List = Kind == PageKind::Str ? R->Str : R->Normal;
+  *headerOf(Page) = {List.Head, sizeof(PageHeader), Kind, 0};
+  List.Head = Page;
+  List.Offset = sizeof(PageHeader);
+  setMapRange(Page, 1, R);
+  if (Kind == PageKind::Normal)
+    writeEndMarker(Page, List.Offset);
+  return Page;
+}
+
+Region *RegionManager::newRegion() {
+  char *Page = static_cast<char *>(Source.allocPages(1));
+  *headerOf(Page) = {nullptr, 0, PageKind::Normal, 0};
+
+  // The region structure lives in its own first page, offset by
+  // successive multiples of 64 bytes (up to 512) to spread region
+  // structures across cache lines (§4.1).
+  std::uint32_t CacheOffset = 64 * (NextRegionId % 9);
+  auto *R = ::new (Page + sizeof(PageHeader) + CacheOffset) Region();
+  R->Mgr = this;
+  R->Id = NextRegionId++;
+  R->Normal.Head = Page;
+  R->Normal.Offset = static_cast<std::uint32_t>(
+      sizeof(PageHeader) + CacheOffset + alignTo(sizeof(Region),
+                                                 kDefaultAlignment));
+  headerOf(Page)->ScanStart = R->Normal.Offset;
+  writeEndMarker(Page, R->Normal.Offset);
+  setMapRange(Page, 1, R);
+
+  R->NextLive = LiveHead;
+  if (LiveHead)
+    LiveHead->PrevLive = R;
+  LiveHead = R;
+
+  ++Stats.TotalRegions;
+  ++Stats.LiveRegions;
+  if (Stats.LiveRegions > Stats.MaxLiveRegions)
+    Stats.MaxLiveRegions = Stats.LiveRegions;
+  return R;
+}
+
+void *RegionManager::allocRaw(Region *R, std::size_t Size) {
+  assert(R && R->Mgr == this && "region belongs to another manager");
+  std::size_t Need = alignTo(Size, kDefaultAlignment);
+  if (Need > kPageSize - sizeof(PageHeader))
+    return allocLarge(R, Size, nullptr);
+
+  Region::BumpList &B = R->Str;
+  if (!B.Head || B.Offset + Need > kPageSize)
+    newPage(R, PageKind::Str);
+  char *Result = B.Head + B.Offset;
+  B.Offset += static_cast<std::uint32_t>(Need);
+
+  ++R->NumAllocs;
+  R->ReqBytes += Size;
+  ++Stats.TotalAllocs;
+  Stats.TotalRequestedBytes += Size;
+  Stats.LiveRequestedBytes += Size;
+  if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
+    Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
+  if (R->ReqBytes > Stats.MaxRegionBytes)
+    Stats.MaxRegionBytes = R->ReqBytes;
+  return Result;
+}
+
+void *RegionManager::allocScanned(Region *R, std::size_t Size,
+                                  ScanThunk Thunk) {
+  assert(R && R->Mgr == this && "region belongs to another manager");
+  assert(Thunk && "scanned allocations need a cleanup thunk");
+  std::size_t Payload = alignTo(Size, kDefaultAlignment);
+  std::size_t Need = sizeof(ScanThunk) + Payload;
+  if (Need > kPageSize - sizeof(PageHeader))
+    return allocLarge(R, Size, Thunk);
+
+  Region::BumpList &B = R->Normal;
+  if (!B.Head || B.Offset + Need > kPageSize)
+    newPage(R, PageKind::Normal);
+  char *Base = B.Head + B.Offset;
+  *reinterpret_cast<ScanThunk *>(Base) = Thunk;
+  B.Offset += static_cast<std::uint32_t>(Need);
+  writeEndMarker(B.Head, B.Offset);
+  if (Cfg.ZeroMemory)
+    std::memset(Base + sizeof(ScanThunk), 0, Payload);
+
+  ++R->NumAllocs;
+  R->ReqBytes += Size;
+  ++Stats.TotalAllocs;
+  Stats.TotalRequestedBytes += Size;
+  Stats.LiveRequestedBytes += Size;
+  if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
+    Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
+  if (R->ReqBytes > Stats.MaxRegionBytes)
+    Stats.MaxRegionBytes = R->ReqBytes;
+  return Base + sizeof(ScanThunk);
+}
+
+void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk) {
+  std::size_t Total = detail::kLargePayloadOff + alignTo(Size,
+                                                         kDefaultAlignment);
+  std::size_t NumPages = alignTo(Total, kPageSize) / kPageSize;
+  char *Block = static_cast<char *>(Source.allocPages(NumPages));
+  *headerOf(Block) = {R->LargeHead,
+                      static_cast<std::uint32_t>(detail::kLargeThunkOff),
+                      PageKind::Large, 0};
+  R->LargeHead = Block;
+  *reinterpret_cast<std::size_t *>(Block + detail::kLargeNumPagesOff) =
+      NumPages;
+  *reinterpret_cast<ScanThunk *>(Block + detail::kLargeThunkOff) = Thunk;
+  setMapRange(Block, NumPages, R);
+  if (Thunk && Cfg.ZeroMemory)
+    std::memset(Block + detail::kLargePayloadOff, 0,
+                alignTo(Size, kDefaultAlignment));
+
+  ++R->NumAllocs;
+  R->ReqBytes += Size;
+  ++Stats.TotalAllocs;
+  Stats.TotalRequestedBytes += Size;
+  Stats.LiveRequestedBytes += Size;
+  if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
+    Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
+  if (R->ReqBytes > Stats.MaxRegionBytes)
+    Stats.MaxRegionBytes = R->ReqBytes;
+  return Block + detail::kLargePayloadOff;
+}
+
+void RegionManager::runCleanups(Region *R) {
+  // Normal pages: walk object headers until the NULL marker (Figure 7).
+  for (char *Page = R->Normal.Head; Page; Page = headerOf(Page)->Next) {
+    std::uint32_t Off = headerOf(Page)->ScanStart;
+    while (Off + sizeof(ScanThunk) <= kPageSize) {
+      ScanThunk Thunk = *reinterpret_cast<ScanThunk *>(Page + Off);
+      if (!Thunk)
+        break;
+      Off += sizeof(ScanThunk);
+      std::size_t Used = Thunk(Page + Off);
+      ++Stats.CleanupThunksRun;
+      Off += static_cast<std::uint32_t>(alignTo(Used, kDefaultAlignment));
+    }
+  }
+  // Large objects carry a single optional thunk each.
+  for (char *Block = R->LargeHead; Block; Block = headerOf(Block)->Next) {
+    ScanThunk Thunk =
+        *reinterpret_cast<ScanThunk *>(Block + detail::kLargeThunkOff);
+    if (!Thunk)
+      continue;
+    Thunk(Block + detail::kLargePayloadOff);
+    ++Stats.CleanupThunksRun;
+  }
+}
+
+void RegionManager::freeRegionMemory(Region *R) {
+  Stats.LiveRequestedBytes -= R->ReqBytes;
+  --Stats.LiveRegions;
+  if (R->PrevLive)
+    R->PrevLive->NextLive = R->NextLive;
+  else
+    LiveHead = R->NextLive;
+  if (R->NextLive)
+    R->NextLive->PrevLive = R->PrevLive;
+
+  // Copy the page lists out: R itself lives in the first normal page.
+  char *Normal = R->Normal.Head;
+  char *Str = R->Str.Head;
+  char *Large = R->LargeHead;
+
+  while (Normal) {
+    char *Next = headerOf(Normal)->Next;
+    setMapRange(Normal, 1, nullptr);
+    Source.freePages(Normal, 1);
+    Normal = Next;
+  }
+  while (Str) {
+    char *Next = headerOf(Str)->Next;
+    setMapRange(Str, 1, nullptr);
+    Source.freePages(Str, 1);
+    Str = Next;
+  }
+  while (Large) {
+    char *Next = headerOf(Large)->Next;
+    std::size_t NumPages =
+        *reinterpret_cast<std::size_t *>(Large + detail::kLargeNumPagesOff);
+    setMapRange(Large, NumPages, nullptr);
+    Source.freePages(Large, NumPages);
+    Large = Next;
+  }
+}
+
+bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
+                                     bool HandleCounted) {
+  assert(R && R->Mgr == this && "deleting a foreign or null region");
+  ++Stats.DeleteAttempts;
+
+  if (Cfg.StackScan)
+    rt::RuntimeStack::current().scanForDelete();
+
+  if (Cfg.RefCounts || Cfg.StackScan) {
+    // The handle being deleted (the paper's *x) is excepted from the
+    // external-reference rule. Work out whether it contributed to RC.
+    long long HandleContribution = 0;
+    if (HandleCounted) {
+      HandleContribution = Cfg.RefCounts ? 1 : 0;
+    } else if (HandleSlot && Cfg.StackScan) {
+      auto &Stack = rt::RuntimeStack::current();
+      if (Stack.locate(HandleSlot) == rt::RuntimeStack::SlotLocation::Scanned)
+        HandleContribution = 1;
+    }
+    std::size_t TopRefs =
+        Cfg.StackScan
+            ? rt::RuntimeStack::current().countTopFrameRefsTo(R, HandleSlot)
+            : 0;
+    if (R->RC != HandleContribution || TopRefs != 0) {
+      ++Stats.DeleteFailures;
+      return false;
+    }
+  }
+
+  if (Cfg.CleanupScan)
+    runCleanups(R);
+  if (HandleSlot)
+    *HandleSlot = nullptr; // cleared without barrier: the count dies with R
+  freeRegionMemory(R);
+  return true;
+}
+
+char *regions::rstrdup(Region *R, const char *S) {
+  return rstrndup(R, S, std::strlen(S));
+}
+
+char *regions::rstrndup(Region *R, const char *Data, std::size_t Len) {
+  char *Copy = static_cast<char *>(R->manager().allocRaw(R, Len + 1));
+  std::memcpy(Copy, Data, Len);
+  Copy[Len] = '\0';
+  return Copy;
+}

@@ -1,0 +1,31 @@
+//===- region/Regions.h - Umbrella header ----------------------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for library users: the full safe-region API.
+///
+/// \code
+///   regions::RegionManager Mgr;
+///   regions::rt::Frame F;
+///   regions::rt::RegionHandle R = Mgr.newRegion();
+///   auto *Node = regions::rnew<MyNode>(R, args...);
+///   bool Freed = regions::deleteRegion(R);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGION_REGIONS_H
+#define REGION_REGIONS_H
+
+#include "region/Debug.h"
+#include "region/PageMap.h"
+#include "region/Region.h"
+#include "region/RegionPtr.h"
+#include "region/RuntimeStack.h"
+#include "region/Scoped.h"
+#include "region/StdAllocator.h"
+
+#endif // REGION_REGIONS_H

@@ -1,0 +1,138 @@
+//===- region/RuntimeStack.cpp - Shadow stack for local refs -------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/RuntimeStack.h"
+#include "region/PageMap.h"
+#include "region/Region.h"
+
+#include <cassert>
+
+using namespace regions;
+using namespace regions::rt;
+
+namespace {
+
+/// Adjusts a region's count for a stack-attributed reference, honouring
+/// the manager's StackScan feature flag so safe and unsafe regions can
+/// coexist on one shadow stack.
+void stackAdjust(void *Value, long long Delta) {
+  Region *R = regionOf(Value);
+  if (R && R->manager().config().StackScan)
+    R->rcAdd(Delta);
+}
+
+} // namespace
+
+RuntimeStack &RuntimeStack::current() {
+  thread_local RuntimeStack Instance;
+  return Instance;
+}
+
+std::size_t RuntimeStack::pushFrame() {
+  Frames.push_back({Slots.size()});
+  return Frames.size() - 1;
+}
+
+void RuntimeStack::popFrame() {
+  assert(!Frames.empty() && "popFrame with no frames");
+  assert(Slots.size() == Frames.back().SlotBegin &&
+         "locals must be unregistered before their frame pops");
+  Frames.pop_back();
+  if (Frames.empty()) {
+    HwmIdx = 0;
+    return;
+  }
+  // Invariant (*): at least one unscanned frame. If the pop left every
+  // remaining frame scanned, unscan the new top frame — this is the
+  // paper's unscan-on-return, triggered for exactly one frame.
+  if (HwmIdx == Frames.size()) {
+    unscanFrame(Frames.size() - 1);
+    HwmIdx = Frames.size() - 1;
+  }
+}
+
+std::size_t RuntimeStack::registerSlot(void **Addr) {
+  if (Frames.empty())
+    pushFrame(); // implicit base frame for frameless clients
+  Slots.push_back(Addr);
+  return Slots.size() - 1;
+}
+
+void RuntimeStack::unregisterSlot(std::size_t Idx, void **Addr) {
+  (void)Idx;
+  (void)Addr;
+  assert(Idx == Slots.size() - 1 && Slots[Idx] == Addr &&
+         "local region pointers must unregister in LIFO order");
+  Slots.pop_back();
+}
+
+void RuntimeStack::localWrite(std::size_t Idx, void **Addr, void *NewVal) {
+  assert(Idx < Slots.size() && Slots[Idx] == Addr && "stale slot index");
+  if (Idx < scannedSlotEnd()) {
+    // Slot lives in a scanned frame: keep the counts exact.
+    ++Stats.ScannedFrameWrites;
+    stackAdjust(*Addr, -1);
+    stackAdjust(NewVal, +1);
+  }
+  *Addr = NewVal;
+}
+
+void RuntimeStack::scanForDelete() {
+  ++Stats.Scans;
+  if (Frames.empty())
+    return;
+  std::size_t Target = Frames.size() - 1; // top frame stays unscanned
+  if (HwmIdx >= Target)
+    return;
+  std::size_t Begin = Frames[HwmIdx].SlotBegin;
+  std::size_t End = Frames[Target].SlotBegin;
+  for (std::size_t I = Begin; I != End; ++I) {
+    ++Stats.SlotsVisited;
+    stackAdjust(*Slots[I], +1);
+  }
+  Stats.FramesScanned += Target - HwmIdx;
+  HwmIdx = Target;
+}
+
+void RuntimeStack::unscanFrame(std::size_t FrameIdx) {
+  ++Stats.FramesUnscanned;
+  std::size_t Begin = Frames[FrameIdx].SlotBegin;
+  std::size_t End = frameSlotEnd(FrameIdx);
+  for (std::size_t I = Begin; I != End; ++I) {
+    ++Stats.SlotsVisited;
+    stackAdjust(*Slots[I], -1);
+  }
+}
+
+RuntimeStack::SlotLocation RuntimeStack::locate(void *const *Addr) const {
+  std::size_t ScanEnd = scannedSlotEnd();
+  for (std::size_t I = 0, E = Slots.size(); I != E; ++I)
+    if (Slots[I] == Addr)
+      return I < ScanEnd ? SlotLocation::Scanned : SlotLocation::Unscanned;
+  return SlotLocation::NotRegistered;
+}
+
+std::size_t
+RuntimeStack::countTopFrameRefsTo(const Region *R,
+                                  void *const *ExcludeSlot) const {
+  if (Frames.empty())
+    return 0;
+  std::size_t Count = 0;
+  for (std::size_t I = Frames.back().SlotBegin, E = Slots.size(); I != E; ++I) {
+    if (Slots[I] == ExcludeSlot)
+      continue;
+    if (regionOf(*Slots[I]) == R)
+      ++Count;
+  }
+  return Count;
+}
+
+void RuntimeStack::resetForTesting() {
+  Frames.clear();
+  Slots.clear();
+  HwmIdx = 0;
+  Stats = Counters{};
+}

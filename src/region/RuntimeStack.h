@@ -1,0 +1,158 @@
+//===- region/RuntimeStack.h - Shadow stack for local refs -----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's deferred reference counting for local variables (§4.2.1,
+/// §4.2.3): writes to locals never touch reference counts; instead the
+/// stack carries a *high-water mark*. Frames above the mark ("scanned")
+/// have had their live region pointers counted; the invariant (*) keeps
+/// at least one frame — the executing one — unscanned, so ordinary local
+/// writes are free. deleteRegion scans the unscanned suffix (except the
+/// top frame, which it counts transiently, mirroring the paper's
+/// scan-then-unscan-on-return of deleteregion's caller), and returning
+/// into a scanned frame unscans exactly that frame (the paper patches
+/// return addresses; we use RAII frame pops).
+///
+/// The paper's compiler records live region-pointer locals at each call
+/// site; our stand-in is explicit registration: each function holding
+/// region-pointer locals declares an rt::Frame, and the locals are
+/// rt::Ref<T> values (defined in RegionPtr.h) that register their
+/// storage address in the current frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGION_RUNTIMESTACK_H
+#define REGION_RUNTIMESTACK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace regions {
+
+class Region;
+
+namespace rt {
+
+/// Per-thread shadow stack of frames holding registered local
+/// region-pointer slots, plus the high-water mark.
+class RuntimeStack {
+public:
+  /// The calling thread's stack.
+  static RuntimeStack &current();
+
+  /// Pushes a frame; returns its index. Called by rt::Frame.
+  std::size_t pushFrame();
+
+  /// Pops the newest frame. If the pop leaves the new top frame
+  /// scanned, that frame is unscanned (counts decremented, mark
+  /// lowered), restoring invariant (*). Called by rt::Frame.
+  void popFrame();
+
+  /// Registers a local pointer slot in the current frame (creating a
+  /// bottom "base" frame if none exists). Returns the slot index.
+  std::size_t registerSlot(void **Addr);
+
+  /// Unregisters the most recently registered slot. Registration is
+  /// strictly LIFO, which C++ scoping guarantees for automatic Refs.
+  void unregisterSlot(std::size_t Idx, void **Addr);
+
+  /// Stores \p NewVal into the registered slot \p Idx. Free for slots
+  /// in unscanned frames (the common case, by invariant (*)); for a
+  /// slot in a scanned frame — reachable only by writing a caller's
+  /// local through a reference — the counts are adjusted, the paper's
+  /// "more expensive runtime routine" for statically ambiguous writes.
+  void localWrite(std::size_t Idx, void **Addr, void *NewVal);
+
+  /// Scans all unscanned frames except the newest one, incrementing the
+  /// reference count of every region referenced by a registered local,
+  /// and raises the high-water mark. Called by deleteRegion.
+  void scanForDelete();
+
+  /// Where a slot currently sits relative to the mark.
+  enum class SlotLocation { NotRegistered, Scanned, Unscanned };
+
+  /// Classifies \p Addr. Linear in the number of registered slots;
+  /// used only inside deleteRegion.
+  SlotLocation locate(void *const *Addr) const;
+
+  /// Counts references to \p R from the *top* frame's slots, excluding
+  /// \p ExcludeSlot (the handle being deleted). This is the transient
+  /// contribution of the frame the paper scans and immediately unscans
+  /// on return from deleteregion.
+  std::size_t countTopFrameRefsTo(const Region *R,
+                                  void *const *ExcludeSlot) const;
+
+  std::size_t frameCount() const { return Frames.size(); }
+  std::size_t scannedFrameCount() const { return HwmIdx; }
+  std::size_t slotCount() const { return Slots.size(); }
+
+  /// Current value of registered slot \p Idx. Used by the conservative
+  /// collector, which treats every registered local as a root.
+  void *slotValue(std::size_t Idx) const { return *Slots[Idx]; }
+
+  /// Storage address of registered slot \p Idx (diagnostics).
+  void *const *slotAddress(std::size_t Idx) const { return Slots[Idx]; }
+
+  /// Number of slots belonging to scanned frames (their references are
+  /// already reflected in region counts).
+  std::size_t scannedSlotCount() const { return scannedSlotEnd(); }
+
+  /// Instrumentation for the Figure 11 harness.
+  struct Counters {
+    std::uint64_t Scans = 0;
+    std::uint64_t FramesScanned = 0;
+    std::uint64_t FramesUnscanned = 0;
+    std::uint64_t SlotsVisited = 0;
+    std::uint64_t ScannedFrameWrites = 0;
+  };
+  const Counters &counters() const { return Stats; }
+
+  /// Drops all frames and slots; tests only.
+  void resetForTesting();
+
+private:
+  struct FrameRec {
+    std::size_t SlotBegin;
+  };
+
+  std::size_t frameSlotEnd(std::size_t FrameIdx) const {
+    return FrameIdx + 1 < Frames.size() ? Frames[FrameIdx + 1].SlotBegin
+                                        : Slots.size();
+  }
+
+  /// First slot index beyond the scanned prefix.
+  std::size_t scannedSlotEnd() const {
+    return HwmIdx < Frames.size() ? Frames[HwmIdx].SlotBegin : Slots.size();
+  }
+
+  void unscanFrame(std::size_t FrameIdx);
+
+  std::vector<FrameRec> Frames;
+  std::vector<void **> Slots;
+  std::size_t HwmIdx = 0; ///< frames [0, HwmIdx) are scanned
+  Counters Stats;
+};
+
+/// RAII shadow-stack frame. Declare one at the top of any function that
+/// keeps region pointers in locals (before any rt::Ref local).
+class Frame {
+public:
+  Frame() { Idx = RuntimeStack::current().pushFrame(); }
+  Frame(const Frame &) = delete;
+  Frame &operator=(const Frame &) = delete;
+  ~Frame() { RuntimeStack::current().popFrame(); }
+
+  std::size_t index() const { return Idx; }
+
+private:
+  std::size_t Idx;
+};
+
+} // namespace rt
+} // namespace regions
+
+#endif // REGION_RUNTIMESTACK_H

@@ -1,0 +1,84 @@
+//===- region/StdAllocator.h - std::allocator over a region ----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standard-library allocator adapter that draws memory from a
+/// region. Lets ordinary containers participate in region lifetimes:
+///
+/// \code
+///   Region *R = Mgr.newRegion();
+///   std::vector<int, RegionStdAllocator<int>> V{
+///       RegionStdAllocator<int>(R)};
+///   V.resize(1000);             // storage comes from R
+///   // ... deleteRegion reclaims V's storage with everything else.
+/// \endcode
+///
+/// Rules of use:
+///  - deallocate() is a no-op (region memory dies with the region), so
+///    containers that grow leave their old buffers as region garbage —
+///    the normal region idiom.
+///  - The region must outlive the container *or* the container's
+///    element type must not require destruction (region deletion never
+///    runs container-element destructors; destroy the container first
+///    if its elements own resources).
+///  - Elements may not hold counted RegionPtr fields: container memory
+///    is pointer-free storage (the paper's rstralloc side).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGION_STDALLOCATOR_H
+#define REGION_STDALLOCATOR_H
+
+#include "region/Region.h"
+
+#include <cstddef>
+
+namespace regions {
+
+template <typename T> class RegionStdAllocator {
+public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  static_assert(alignof(T) <= kDefaultAlignment,
+                "regions serve 8-byte-aligned storage");
+
+  explicit RegionStdAllocator(Region *R) : R(R) {}
+
+  template <typename U>
+  RegionStdAllocator(const RegionStdAllocator<U> &Other)
+      : R(Other.region()) {}
+
+  T *allocate(std::size_t N) {
+    return static_cast<T *>(R->manager().allocRaw(R, N * sizeof(T)));
+  }
+
+  /// Region memory is reclaimed wholesale; individual deallocation is
+  /// deliberately a no-op.
+  void deallocate(T *, std::size_t) {}
+
+  Region *region() const { return R; }
+
+  template <typename U>
+  bool operator==(const RegionStdAllocator<U> &Other) const {
+    return R == Other.region();
+  }
+  template <typename U>
+  bool operator!=(const RegionStdAllocator<U> &Other) const {
+    return R != Other.region();
+  }
+
+private:
+  Region *R;
+};
+
+} // namespace regions
+
+#endif // REGION_STDALLOCATOR_H

@@ -1,0 +1,71 @@
+//===- support/Align.h - Alignment helpers ---------------------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment arithmetic shared by the region library and the malloc
+/// baselines. All allocators in this project align payloads to
+/// \c kDefaultAlignment (8 bytes), matching the paper's ALIGN macro.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_ALIGN_H
+#define SUPPORT_ALIGN_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace regions {
+
+/// Payload alignment used by every allocator in the project.
+inline constexpr std::size_t kDefaultAlignment = 8;
+
+/// Page size used by the region library, the GC and the page sources.
+/// The paper uses 4 KB pages; we keep that constant.
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kPageShift = 12;
+
+/// Returns true if \p Value is a power of two (0 is not).
+constexpr bool isPowerOf2(std::size_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+constexpr std::size_t alignTo(std::size_t Value, std::size_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Rounds \p Value down to a multiple of \p Align (a power of two).
+constexpr std::size_t alignDown(std::size_t Value, std::size_t Align) {
+  return Value & ~(Align - 1);
+}
+
+/// Returns true if \p Ptr is aligned to \p Align bytes.
+inline bool isAligned(const void *Ptr, std::size_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  return (reinterpret_cast<std::uintptr_t>(Ptr) & (Align - 1)) == 0;
+}
+
+/// Smallest power of two >= \p Value (Value must be nonzero and
+/// representable).
+constexpr std::size_t nextPowerOf2(std::size_t Value) {
+  std::size_t Result = 1;
+  while (Result < Value)
+    Result <<= 1;
+  return Result;
+}
+
+/// Integer log2 of a power of two.
+constexpr unsigned log2OfPow2(std::size_t Value) {
+  unsigned Result = 0;
+  while ((std::size_t{1} << Result) < Value)
+    ++Result;
+  return Result;
+}
+
+} // namespace regions
+
+#endif // SUPPORT_ALIGN_H

@@ -1,0 +1,46 @@
+//===- support/Compiler.h - Portable compiler annotations ------*- C++ -*-===//
+//
+// Part of the regions project, a reproduction of Gay & Aiken,
+// "Memory Management with Explicit Regions" (PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used throughout the project. The project is
+/// built without exceptions and RTTI, so unrecoverable conditions funnel
+/// through \c rgn_unreachable / \c reportFatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_COMPILER_H
+#define SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RGN_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define RGN_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+namespace regions {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable runtime
+/// conditions (OS resource exhaustion, corrupted heap metadata) since the
+/// project builds with -fno-exceptions.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "regions fatal error: %s\n", Msg);
+  std::abort();
+}
+
+/// Marks a point in the program that is provably never reached.
+[[noreturn]] inline void rgnUnreachableImpl(const char *Msg, const char *File,
+                                            unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace regions
+
+#define rgn_unreachable(msg)                                                   \
+  ::regions::rgnUnreachableImpl(msg, __FILE__, __LINE__)
+
+#endif // SUPPORT_COMPILER_H

@@ -1,0 +1,91 @@
+//===- support/PageSource.cpp - Reserved-arena page provider -------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PageSource.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <sys/mman.h>
+
+using namespace regions;
+
+PageSource::PageSource(std::size_t ReserveBytes) {
+  TotalPages = alignTo(ReserveBytes, kPageSize) / kPageSize;
+  void *Mem = mmap(nullptr, TotalPages * kPageSize, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Mem == MAP_FAILED)
+    reportFatalError("PageSource: cannot reserve arena");
+  ArenaBase = static_cast<char *>(Mem);
+}
+
+PageSource::~PageSource() {
+  if (ArenaBase)
+    munmap(ArenaBase, TotalPages * kPageSize);
+}
+
+void *PageSource::allocPages(std::size_t NumPages) {
+  assert(NumPages > 0 && "cannot allocate an empty page run");
+  PagesInUse += NumPages;
+
+  // Exact-size bin hit.
+  if (NumPages <= kMaxBin && !Bins[NumPages].empty()) {
+    std::uint32_t Idx = Bins[NumPages].back();
+    Bins[NumPages].pop_back();
+    return pageAt(Idx);
+  }
+
+  // First-fit in the large-run list; split the remainder back.
+  for (std::size_t I = 0, E = LargeRuns.size(); I != E; ++I) {
+    Run &R = LargeRuns[I];
+    if (R.NumPages < NumPages)
+      continue;
+    std::uint32_t Idx = R.PageIdx;
+    std::uint32_t Rest = R.NumPages - static_cast<std::uint32_t>(NumPages);
+    if (Rest == 0) {
+      LargeRuns[I] = LargeRuns.back();
+      LargeRuns.pop_back();
+    } else {
+      R.PageIdx += static_cast<std::uint32_t>(NumPages);
+      R.NumPages = Rest;
+      if (Rest <= kMaxBin) {
+        Bins[Rest].push_back(R.PageIdx);
+        LargeRuns[I] = LargeRuns.back();
+        LargeRuns.pop_back();
+      }
+    }
+    return pageAt(Idx);
+  }
+
+  // Grow the frontier.
+  if (Frontier + NumPages > TotalPages)
+    reportFatalError("PageSource: arena exhausted; raise the reserve size");
+  std::size_t Idx = Frontier;
+  Frontier += NumPages;
+  return pageAt(Idx);
+}
+
+void PageSource::freePages(void *Ptr, std::size_t NumPages) {
+  assert(NumPages > 0 && "cannot free an empty page run");
+  assert(contains(Ptr) && "pointer does not belong to this PageSource");
+  assert(isAligned(Ptr, kPageSize) && "page run must be page-aligned");
+  assert(PagesInUse >= NumPages && "freeing more pages than allocated");
+  PagesInUse -= NumPages;
+
+  auto Idx = static_cast<std::uint32_t>(pageIndex(Ptr));
+  if (NumPages <= kMaxBin) {
+    Bins[NumPages].push_back(Idx);
+    return;
+  }
+  LargeRuns.push_back({Idx, static_cast<std::uint32_t>(NumPages)});
+}
+
+void PageSource::resetForTesting() {
+  Frontier = 0;
+  PagesInUse = 0;
+  for (auto &Bin : Bins)
+    Bin.clear();
+  LargeRuns.clear();
+}

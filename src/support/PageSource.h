@@ -1,0 +1,113 @@
+//===- support/PageSource.h - Reserved-arena page provider -----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every allocator in this project (regions, the three malloc baselines
+/// and the conservative GC) obtains 4 KB pages from a PageSource, so the
+/// "memory requested from the OS" metric of the paper's Figure 8 is
+/// measured identically for all of them.
+///
+/// A PageSource reserves a large contiguous virtual arena up front
+/// (MAP_NORESERVE, so untouched pages cost nothing) and hands out page
+/// runs by bumping a frontier; freed runs go to per-length free lists
+/// and are reused before the frontier grows. The high-water mark of the
+/// frontier is the Figure-8 "OS" number: like the real allocators in the
+/// paper, a PageSource never returns memory to the operating system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_PAGESOURCE_H
+#define SUPPORT_PAGESOURCE_H
+
+#include "support/Align.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace regions {
+
+/// Provides 4 KB pages from a reserved virtual-memory arena.
+class PageSource {
+public:
+  /// Reserves \p ReserveBytes of virtual address space (rounded up to a
+  /// page multiple). The default of 1 GiB is plenty for every experiment
+  /// in the paper while costing no physical memory until touched.
+  explicit PageSource(std::size_t ReserveBytes = std::size_t{1} << 30);
+
+  PageSource(const PageSource &) = delete;
+  PageSource &operator=(const PageSource &) = delete;
+
+  ~PageSource();
+
+  /// Allocates a contiguous run of \p NumPages pages. Never returns
+  /// null: address-space exhaustion is a fatal error (the experiments
+  /// size their arenas generously).
+  void *allocPages(std::size_t NumPages);
+
+  /// Returns a page run previously obtained from allocPages to the free
+  /// lists. The memory stays counted in osBytes(), matching how the
+  /// paper's allocators retain freed memory.
+  void freePages(void *Ptr, std::size_t NumPages);
+
+  /// Total bytes ever obtained from the OS (frontier high-water mark).
+  std::size_t osBytes() const { return Frontier * kPageSize; }
+
+  /// Bytes currently handed out to clients (allocated minus freed).
+  std::size_t inUseBytes() const { return PagesInUse * kPageSize; }
+
+  /// True if \p Ptr lies within the reserved arena (whether or not the
+  /// page it points into is currently handed out).
+  bool contains(const void *Ptr) const {
+    auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+    auto Base = reinterpret_cast<std::uintptr_t>(ArenaBase);
+    return Addr >= Base && Addr < Base + Frontier * kPageSize;
+  }
+
+  /// Index of the page containing \p Ptr, relative to the arena base.
+  /// \pre contains(Ptr) or Ptr within the reserved range.
+  std::size_t pageIndex(const void *Ptr) const {
+    auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+    auto Base = reinterpret_cast<std::uintptr_t>(ArenaBase);
+    return (Addr - Base) >> kPageShift;
+  }
+
+  /// Base address of the reserved arena.
+  char *base() const { return ArenaBase; }
+
+  /// Number of pages in the reserved arena.
+  std::size_t reservedPages() const { return TotalPages; }
+
+  /// Resets all bookkeeping and hands back the entire arena as fresh.
+  /// Only for tests and between-benchmark isolation; outstanding
+  /// pointers become invalid.
+  void resetForTesting();
+
+private:
+  /// Free runs are binned by exact length up to kMaxBin; longer runs go
+  /// to the overflow list and are carved first-fit.
+  static constexpr std::size_t kMaxBin = 16;
+
+  struct Run {
+    std::uint32_t PageIdx;
+    std::uint32_t NumPages;
+  };
+
+  void *pageAt(std::size_t Index) const {
+    return ArenaBase + Index * kPageSize;
+  }
+
+  char *ArenaBase = nullptr;
+  std::size_t TotalPages = 0;
+  std::size_t Frontier = 0;   ///< pages [0, Frontier) have been handed out
+  std::size_t PagesInUse = 0; ///< currently allocated pages
+  std::vector<std::uint32_t> Bins[kMaxBin + 1]; ///< Bins[n]: runs of n pages
+  std::vector<Run> LargeRuns; ///< runs longer than kMaxBin pages
+};
+
+} // namespace regions
+
+#endif // SUPPORT_PAGESOURCE_H

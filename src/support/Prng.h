@@ -1,0 +1,93 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64 seeding + xoshiro256**)
+/// used by workload generators and property tests. Determinism matters:
+/// every benchmark run must allocate the same object sequence so that
+/// allocator comparisons are apples-to-apples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_PRNG_H
+#define SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace regions {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Prng {
+public:
+  explicit Prng(std::uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(std::uint64_t Seed) {
+    for (auto &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) has no valid result");
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for the bounds used here and determinism is what we care about.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  std::uint64_t nextInRange(std::uint64_t Lo, std::uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Geometric-ish skewed size in [Lo, Hi]: small values are much more
+  /// likely, mimicking typical allocation-size distributions.
+  std::uint64_t nextSkewed(std::uint64_t Lo, std::uint64_t Hi) {
+    double U = nextDouble();
+    U = U * U * U; // cube to skew toward 0
+    return Lo + static_cast<std::uint64_t>(U * static_cast<double>(Hi - Lo));
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t State[4];
+};
+
+} // namespace regions
+
+#endif // SUPPORT_PRNG_H

@@ -1,0 +1,53 @@
+//===- support/Stopwatch.h - Monotonic wall-clock timing -------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic timing helpers used by the experiment harness to reproduce
+/// the paper's base vs. memory execution-time split (Figure 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STOPWATCH_H
+#define SUPPORT_STOPWATCH_H
+
+#include <cstdint>
+#include <ctime>
+
+namespace regions {
+
+/// Returns the monotonic clock in nanoseconds.
+inline std::uint64_t monotonicNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<std::uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(Ts.tv_nsec);
+}
+
+/// Accumulating stopwatch. start()/stop() pairs add to the total; the
+/// total survives restarts so one stopwatch can time many disjoint
+/// intervals (e.g. all calls into an allocator).
+class Stopwatch {
+public:
+  void start() { StartNs = monotonicNanos(); }
+
+  void stop() { TotalNs += monotonicNanos() - StartNs; }
+
+  void reset() { TotalNs = 0; }
+
+  /// Total accumulated time in nanoseconds.
+  std::uint64_t nanos() const { return TotalNs; }
+
+  /// Total accumulated time in milliseconds (floating point).
+  double millis() const { return static_cast<double>(TotalNs) / 1e6; }
+
+private:
+  std::uint64_t TotalNs = 0;
+  std::uint64_t StartNs = 0;
+};
+
+} // namespace regions
+
+#endif // SUPPORT_STOPWATCH_H

@@ -1,0 +1,73 @@
+//===- support/TableWriter.cpp - ASCII table formatting ------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdint>
+
+using namespace regions;
+
+TableWriter::TableWriter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::print(std::FILE *Out) const {
+  std::vector<std::size_t> Widths(Header.size(), 0);
+  for (std::size_t I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (std::size_t I = 0, E = Row.size(); I != E; ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (std::size_t I = 0, E = Row.size(); I != E; ++I)
+      std::fprintf(Out, "%s%-*s", I ? "  " : "", static_cast<int>(Widths[I]),
+                   Row[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  std::size_t Total = 0;
+  for (std::size_t W : Widths)
+    Total += W + 2;
+  for (std::size_t I = 0; I + 2 < Total; ++I)
+    std::fputc('-', Out);
+  std::fputc('\n', Out);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TableWriter::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string TableWriter::fmt(std::uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  return Buf;
+}
+
+std::string TableWriter::fmtKb(std::uint64_t Bytes) {
+  return fmt(static_cast<double>(Bytes) / 1024.0, 1);
+}
+
+std::string TableWriter::fmtPercentOf(double Value, double Base) {
+  if (Base == 0.0)
+    return "n/a";
+  double Pct = (Value / Base - 1.0) * 100.0;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%+.1f%%", Pct);
+  return Buf;
+}

@@ -1,0 +1,54 @@
+//===- support/TableWriter.h - ASCII table formatting ----------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats the rows the benchmark harnesses print so every reproduced
+/// table and figure in EXPERIMENTS.md has a uniform, diffable layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TABLEWRITER_H
+#define SUPPORT_TABLEWRITER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace regions {
+
+/// Collects rows of string cells and prints them as an aligned ASCII
+/// table with a header separator.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to \p Out (stdout by default).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Formats a double with \p Digits fractional digits.
+  static std::string fmt(double Value, int Digits = 1);
+
+  /// Formats an integer count.
+  static std::string fmt(std::uint64_t Value);
+
+  /// Formats a byte count as KB with one fractional digit (the paper
+  /// reports kbytes).
+  static std::string fmtKb(std::uint64_t Bytes);
+
+  /// Formats \p Value as a percentage of \p Base ("+12.3%").
+  static std::string fmtPercentOf(double Value, double Base);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace regions
+
+#endif // SUPPORT_TABLEWRITER_H

@@ -1,0 +1,149 @@
+//===- text/TextGen.h - Deterministic text corpus generator ----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic text for the tile and moss workloads. The
+/// paper feeds tile twenty copies of a 14 KB text and moss 180 student
+/// compiler projects (~10 MB); we cannot redistribute those, so this
+/// generator produces:
+///
+///  - topic-structured prose (generateTopicalText): contiguous segments
+///    draw words from distinct topic vocabularies, giving TextTiling
+///    real boundaries to find;
+///  - "student submissions" (generateSubmission): documents sharing
+///    plagiarized fragments drawn from a common pool, giving the
+///    winnowing index real matches to find.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEXT_TEXTGEN_H
+#define TEXT_TEXTGEN_H
+
+#include "support/Prng.h"
+
+#include <string>
+#include <vector>
+
+namespace regions {
+namespace text {
+
+/// Deterministic pseudo-word: lowercase letters derived from the id.
+inline std::string makeWord(std::uint64_t Id) {
+  std::string W;
+  Id += 7;
+  while (Id) {
+    W.push_back(static_cast<char>('a' + Id % 26));
+    Id /= 26;
+  }
+  return W;
+}
+
+struct TopicalTextOptions {
+  unsigned NumTopics = 8;
+  unsigned WordsPerTopic = 60;    ///< topic-specific vocabulary size
+  unsigned SharedWords = 40;      ///< vocabulary common to all topics
+  unsigned NumSegments = 12;      ///< true topic segments
+  unsigned SentencesPerSegment = 14;
+  unsigned WordsPerSentence = 12;
+  double SharedWordProb = 0.35;
+  std::uint64_t Seed = 1;
+};
+
+/// Topic-structured text plus the true segment boundaries measured in
+/// sentences (for validating TextTiling's output).
+struct TopicalText {
+  std::string Text;
+  std::vector<unsigned> TrueBoundaries; ///< sentence index of each switch
+};
+
+inline TopicalText generateTopicalText(const TopicalTextOptions &Opt) {
+  Prng Rng(Opt.Seed);
+  TopicalText Out;
+  unsigned Sentence = 0;
+  unsigned Topic = 0;
+  for (unsigned Seg = 0; Seg != Opt.NumSegments; ++Seg) {
+    Topic = (Topic + 1 + static_cast<unsigned>(
+                             Rng.nextBelow(Opt.NumTopics - 1))) %
+            Opt.NumTopics;
+    if (Seg)
+      Out.TrueBoundaries.push_back(Sentence);
+    for (unsigned S = 0; S != Opt.SentencesPerSegment; ++S, ++Sentence) {
+      for (unsigned W = 0; W != Opt.WordsPerSentence; ++W) {
+        std::uint64_t WordId;
+        if (Rng.nextBool(Opt.SharedWordProb))
+          WordId = Rng.nextBelow(Opt.SharedWords);
+        else
+          WordId = 1000 + Topic * Opt.WordsPerTopic +
+                   Rng.nextBelow(Opt.WordsPerTopic);
+        if (W)
+          Out.Text.push_back(' ');
+        Out.Text += makeWord(WordId);
+      }
+      Out.Text += ". ";
+    }
+  }
+  return Out;
+}
+
+struct SubmissionOptions {
+  unsigned NumFragments = 400;  ///< size of the shared fragment pool
+  unsigned FragmentWords = 30;
+  unsigned FragmentsPerDoc = 25;
+  double PlagiarismRate = 0.3;  ///< probability a fragment is from the pool
+  std::uint64_t Seed = 1;
+};
+
+/// A corpus of documents; PoolUse[d] records how many pool fragments
+/// document d contains (ground truth for match validation).
+struct SubmissionCorpus {
+  std::vector<std::string> Documents;
+  std::vector<unsigned> PoolFragmentsUsed;
+};
+
+inline SubmissionCorpus generateSubmissions(unsigned NumDocs,
+                                            const SubmissionOptions &Opt) {
+  Prng Rng(Opt.Seed);
+  // Build the shared fragment pool.
+  std::vector<std::string> Pool;
+  for (unsigned F = 0; F != Opt.NumFragments; ++F) {
+    std::string Frag;
+    for (unsigned W = 0; W != Opt.FragmentWords; ++W) {
+      if (W)
+        Frag.push_back(' ');
+      Frag += makeWord(Rng.nextBelow(5000));
+    }
+    Pool.push_back(std::move(Frag));
+  }
+
+  SubmissionCorpus Corpus;
+  for (unsigned D = 0; D != NumDocs; ++D) {
+    std::string Doc;
+    unsigned Plagiarized = 0;
+    for (unsigned F = 0; F != Opt.FragmentsPerDoc; ++F) {
+      if (Rng.nextBool(Opt.PlagiarismRate)) {
+        Doc += Pool[Rng.nextBelow(Pool.size())];
+        ++Plagiarized;
+      } else {
+        for (unsigned W = 0; W != Opt.FragmentWords; ++W) {
+          if (W)
+            Doc.push_back(' ');
+          // Document-private vocabulary: no cross-document matches.
+          Doc += makeWord(1000000 + static_cast<std::uint64_t>(D) * 10000 +
+                          Rng.nextBelow(3000));
+        }
+      }
+      Doc.push_back('\n');
+    }
+    Corpus.Documents.push_back(std::move(Doc));
+    Corpus.PoolFragmentsUsed.push_back(Plagiarized);
+  }
+  return Corpus;
+}
+
+} // namespace text
+} // namespace regions
+
+#endif // TEXT_TEXTGEN_H

@@ -1,0 +1,131 @@
+//===- text/Tokenizer.h - Word tokenizer and rolling hashes ----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared text primitives: a streaming word tokenizer (used by the tile
+/// workload) and the polynomial rolling hash over character k-grams
+/// (used by the moss workload's winnowing fingerprints, after
+/// Schleimer, Wilkerson & Aiken's MOSS algorithm — Aiken is an author
+/// of both papers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TEXT_TOKENIZER_H
+#define TEXT_TOKENIZER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace regions {
+namespace text {
+
+/// A word occurrence within a text buffer.
+struct WordSpan {
+  const char *Start = nullptr;
+  std::uint32_t Len = 0;
+  bool EndsSentence = false; ///< followed by '.' before the next word
+};
+
+/// Streaming tokenizer over [Begin, End): yields lowercase word spans.
+class Tokenizer {
+public:
+  Tokenizer(const char *Begin, const char *End) : Cur(Begin), End(End) {}
+
+  /// Returns false at end of input.
+  bool next(WordSpan &Out) {
+    while (Cur != End && !isWordChar(*Cur))
+      ++Cur;
+    if (Cur == End)
+      return false;
+    Out.Start = Cur;
+    while (Cur != End && isWordChar(*Cur))
+      ++Cur;
+    Out.Len = static_cast<std::uint32_t>(Cur - Out.Start);
+    const char *Peek = Cur;
+    Out.EndsSentence = false;
+    while (Peek != End && !isWordChar(*Peek)) {
+      if (*Peek == '.') {
+        Out.EndsSentence = true;
+        break;
+      }
+      ++Peek;
+    }
+    return true;
+  }
+
+private:
+  static bool isWordChar(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9') || C == '_';
+  }
+
+  const char *Cur;
+  const char *End;
+};
+
+/// FNV-1a hash of a word span (case-sensitive; our generator emits
+/// lowercase only).
+inline std::uint64_t hashWord(const char *S, std::uint32_t Len) {
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (std::uint32_t I = 0; I != Len; ++I) {
+    H ^= static_cast<unsigned char>(S[I]);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Rolling polynomial hash over character k-grams:
+///   H(i) = c[i]*B^(k-1) + c[i+1]*B^(k-2) + ... + c[i+k-1]
+/// advanced in O(1) per position.
+class RollingHash {
+public:
+  RollingHash(const char *Text, std::size_t Len, unsigned K)
+      : Text(Text), Len(Len), K(K) {
+    if (Len < K)
+      return;
+    TopPow = 1;
+    for (unsigned I = 1; I != K; ++I)
+      TopPow *= kBase;
+    for (unsigned I = 0; I != K; ++I)
+      H = H * kBase + static_cast<unsigned char>(Text[I]);
+    Valid = true;
+  }
+
+  bool valid() const { return Valid; }
+
+  /// Hash of the k-gram starting at position().
+  std::uint64_t hash() const { return H; }
+
+  std::size_t position() const { return Pos; }
+
+  /// Advances one character; returns false when no k-gram remains.
+  bool advance() {
+    if (Pos + K >= Len) {
+      Valid = false;
+      return false;
+    }
+    H -= TopPow * static_cast<unsigned char>(Text[Pos]);
+    H = H * kBase + static_cast<unsigned char>(Text[Pos + K]);
+    ++Pos;
+    return true;
+  }
+
+private:
+  static constexpr std::uint64_t kBase = 1099511628211ULL;
+
+  const char *Text;
+  std::size_t Len;
+  unsigned K;
+  std::uint64_t H = 0;
+  std::uint64_t TopPow = 0;
+  std::size_t Pos = 0;
+  bool Valid = false;
+};
+
+} // namespace text
+} // namespace regions
+
+#endif // TEXT_TOKENIZER_H

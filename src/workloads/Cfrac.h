@@ -1,0 +1,351 @@
+//===- workloads/Cfrac.h - Continued-fraction factoring workload -*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's cfrac benchmark: "a program to factor large integers
+/// using the continued fraction method" — the most allocation-intensive
+/// program in the suite (3.8M allocations averaging a few words).
+///
+/// This is a real CFRAC implementation (Morrison-Brillhart): expand the
+/// continued fraction of sqrt(N), trial-divide the Q_i over a factor
+/// base of primes where N is a quadratic residue, collect smooth
+/// relations A^2 = (-1)^s * prod p^e  (mod N), eliminate mod 2, and
+/// extract a factor from X^2 = Y^2 (mod N).
+///
+/// Region organization follows the paper's port: "our region-based
+/// cfrac creates a region for temporary computations for every few
+/// iterations of the main algorithm. Partial solutions are copied from
+/// this region to a solution region so that old temporary regions can
+/// be deleted."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_CFRAC_H
+#define WORKLOADS_CFRAC_H
+
+#include "backend/Models.h"
+#include "bignum/Nat.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace regions {
+namespace workloads {
+
+struct CfracOptions {
+  const char *Decimal = "2428095424619"; ///< number to factor
+  unsigned FactorBaseSize = 60;
+  unsigned MaxIterations = 2000000;
+  unsigned IterationsPerTempRegion = 8; ///< "every few iterations"
+};
+
+struct CfracResult {
+  bool Factored = false;
+  std::uint64_t FactorLow64 = 0; ///< a nontrivial factor (low bits)
+  std::uint64_t Relations = 0;
+  std::uint64_t Iterations = 0;
+
+  std::uint64_t checksum() const {
+    return FactorLow64 * 1000003 + Relations * 31 + Iterations +
+           (Factored ? 1 : 0);
+  }
+};
+
+namespace cfrac_detail {
+
+/// u64 modular exponentiation (moduli < 2^32 here).
+inline std::uint64_t powMod(std::uint64_t B, std::uint64_t E,
+                            std::uint64_t M) {
+  std::uint64_t R = 1 % M;
+  B %= M;
+  while (E) {
+    if (E & 1)
+      R = R * B % M;
+    B = B * B % M;
+    E >>= 1;
+  }
+  return R;
+}
+
+/// Builds the factor base: 2 plus odd primes p < limit with (N|p) = 1.
+inline std::vector<std::uint32_t> buildFactorBase(const Nat &N,
+                                                  unsigned Size) {
+  std::vector<std::uint32_t> Base;
+  Base.push_back(2);
+  for (std::uint32_t P = 3; Base.size() < Size && P < 100000; P += 2) {
+    bool Prime = true;
+    for (std::uint32_t D = 3; D * D <= P; D += 2)
+      if (P % D == 0) {
+        Prime = false;
+        break;
+      }
+    if (!Prime)
+      continue;
+    // N mod P via limb reduction.
+    std::uint64_t R = 0;
+    for (std::uint32_t I = N.Len; I-- > 0;)
+      R = ((R << 32) | N.Limbs[I]) % P;
+    if (R == 0)
+      return {P}; // P divides N: trivial factor, signal via size-1 base
+    if (powMod(R, (P - 1) / 2, P) == 1)
+      Base.push_back(P);
+  }
+  return Base;
+}
+
+} // namespace cfrac_detail
+
+template <class M, class RelVec>
+std::uint64_t tryDependency(M &Mem, typename M::Token &Solution, Nat N,
+                            const std::vector<std::uint32_t> &Base,
+                            const RelVec &Rel,
+                            const std::vector<std::uint64_t> &Subset,
+                            unsigned Rows);
+
+/// Runs cfrac on one number. The factor-base vector and the mod-2
+/// elimination bookkeeping use ordinary application memory, like the
+/// original program's statically allocated tables; all bignum and
+/// relation data live in regions.
+template <class M>
+CfracResult runCfrac(M &Mem, const CfracOptions &Opt) {
+  using Arena = ScopedArena<M>;
+  CfracResult Result;
+
+  [[maybe_unused]] typename M::Frame Frame;
+  // The solution region: relations accumulate here (paper's wording).
+  typename M::Token Solution = Mem.makeRegion();
+  Arena SolArena{Mem, Solution};
+  NatBuilder<Arena> SolNat(SolArena);
+
+  // Parse N in the solution region.
+  Nat N = SolNat.fromDecimal(Opt.Decimal);
+
+  std::vector<std::uint32_t> Base =
+      cfrac_detail::buildFactorBase(N, Opt.FactorBaseSize);
+  if (Base.size() == 1 && Base[0] != 2) {
+    // A base prime divides N.
+    Result.Factored = true;
+    Result.FactorLow64 = Base[0];
+    Mem.dropRegion(Solution);
+    return Result;
+  }
+  const unsigned B = static_cast<unsigned>(Base.size());
+
+  /// One smooth relation, stored in the solution region. Sameregion
+  /// next-links are barriered under safe regions.
+  struct Relation {
+    Nat A;                ///< convergent (mod N)
+    std::uint8_t *Exps;   ///< exponent of each base prime
+    std::uint8_t Sign;    ///< parity of i (the (-1)^i term)
+    typename M::template Ptr<Relation> Next;
+  };
+  Relation *Relations = nullptr;
+  unsigned NumRelations = 0;
+  const unsigned Wanted = B + 12;
+
+  // Continued-fraction state. P, Q fit in u64 (Q <= 2*sqrt(N)); the
+  // convergents A_i are big and live in a rotating temporary region.
+  typename M::Token Temp = Mem.makeRegion();
+  {
+    Arena TempArena{Mem, Temp};
+    NatBuilder<Arena> T(TempArena);
+
+    Nat SqrtN = T.sqrtFloor(N);
+    if (natCompare(T.mul(SqrtN, SqrtN), N) == 0) {
+      Result.Factored = true;
+      Result.FactorLow64 = SqrtN.low64();
+      Mem.dropRegion(Temp);
+      Mem.dropRegion(Solution);
+      return Result;
+    }
+    std::uint64_t A0 = SqrtN.toU64();
+
+    std::uint64_t Pi = 0, Qi = 1;
+    Nat APrev = T.fromU64(1);              // A_{-1}
+    Nat ACur = T.mod(T.fromU64(A0), N);    // A_0 = a_0
+
+    std::uint64_t Ai = A0;
+    std::uint8_t SignParity = 0; // becomes (-1)^i's parity per iteration
+    unsigned SinceRotate = 0;
+
+    std::vector<std::uint8_t> ExpScratch(B);
+
+    for (std::uint64_t Iter = 1; Iter <= Opt.MaxIterations; ++Iter) {
+      // CF recurrence on small numbers.
+      Pi = Ai * Qi - Pi;
+      // d_{i+1} = (N - m^2) / d_i: N is big, so compute with Nat
+      // arithmetic (the quotient always fits u64: it is < 2*sqrt(N)).
+      std::uint64_t Qnext;
+      {
+        Nat PiN = T.fromU64(Pi);
+        Nat Diff = T.sub(N, T.mul(PiN, PiN));
+        Qnext = T.divMod(Diff, T.fromU64(Qi)).Quot.toU64();
+      }
+      if (Qnext == 0)
+        break; // N is a perfect square of the expansion; bail
+      Ai = (A0 + Pi) / Qnext;
+
+      // New convergent: A_i = (a_i * A_{i-1} + A_{i-2}) mod N.
+      Nat ANext = T.mod(T.add(T.mul(T.fromU64(Ai), ACur), APrev), N);
+      Mem.touch(ANext.Limbs, ANext.Len * 4, true);
+      APrev = ACur;
+      ACur = ANext;
+      Qi = Qnext;
+      SignParity ^= 1;
+      ++Result.Iterations;
+
+      // Try to factor Q_i over the base (machine arithmetic: Q < 2^63).
+      std::uint64_t Q = Qi;
+      for (unsigned I = 0; I != B; ++I) {
+        ExpScratch[I] = 0;
+        while (Q % Base[I] == 0) {
+          Q /= Base[I];
+          ++ExpScratch[I];
+        }
+      }
+      if (Q == 1) {
+        // Smooth: copy the relation into the solution region. The
+        // convergent used is A_{i-1} (now APrev).
+        auto *R = Mem.template create<Relation>(Solution);
+        R->A = SolNat.copy(APrev);
+        R->Exps = static_cast<std::uint8_t *>(Mem.allocBytes(Solution, B));
+        for (unsigned I = 0; I != B; ++I)
+          R->Exps[I] = ExpScratch[I];
+        R->Sign = SignParity;
+        R->Next = Relations;
+        Relations = R;
+        Mem.touch(R, sizeof(Relation), true);
+        ++NumRelations;
+        if (NumRelations >= Wanted)
+          break;
+      }
+
+      // Rotate the temporary region "every few iterations": copy the
+      // live convergents out, delete, recreate.
+      if (++SinceRotate >= Opt.IterationsPerTempRegion) {
+        SinceRotate = 0;
+        typename M::Token Fresh = Mem.makeRegion();
+        Arena FreshArena{Mem, Fresh};
+        NatBuilder<Arena> FB(FreshArena);
+        Nat NewPrev = FB.copy(APrev);
+        Nat NewCur = FB.copy(ACur);
+        bool Dropped = Mem.dropRegion(Temp);
+        (void)Dropped;
+        Temp = Fresh;
+        // TempArena references Temp, so the builder now allocates from
+        // the fresh region; only the live convergents carried over.
+        APrev = NewPrev;
+        ACur = NewCur;
+      }
+    }
+  }
+  Mem.dropRegion(Temp);
+  Result.Relations = NumRelations;
+
+  // Linear algebra mod 2 over (sign, exponents): find dependencies.
+  if (NumRelations >= 2) {
+    // Flatten relations into a vector for indexed access.
+    std::vector<Relation *> Rel;
+    for (Relation *R = Relations; R; R = R->Next)
+      Rel.push_back(R);
+    unsigned Rows = static_cast<unsigned>(Rel.size());
+    unsigned Cols = B + 1;
+    unsigned RowWords = (Rows + 63) / 64;
+    // Bit matrix: row per relation; companion tracks combinations.
+    std::vector<std::vector<std::uint64_t>> Mat(Rows);
+    std::vector<std::vector<std::uint64_t>> Comp(Rows);
+    for (unsigned R = 0; R != Rows; ++R) {
+      Mat[R].assign((Cols + 63) / 64, 0);
+      Comp[R].assign(RowWords, 0);
+      Comp[R][R / 64] |= std::uint64_t{1} << (R % 64);
+      if (Rel[R]->Sign & 1)
+        Mat[R][0] |= 1;
+      for (unsigned C = 0; C != B; ++C)
+        if (Rel[R]->Exps[C] & 1)
+          Mat[R][(C + 1) / 64] |= std::uint64_t{1} << ((C + 1) % 64);
+    }
+    // Gaussian elimination; rows that become zero give dependencies.
+    std::vector<int> PivotOfCol(Cols, -1);
+    for (unsigned R = 0; R != Rows && !Result.Factored; ++R) {
+      for (;;) {
+        int Lead = -1;
+        for (unsigned C = 0; C != Cols; ++C)
+          if (Mat[R][C / 64] & (std::uint64_t{1} << (C % 64))) {
+            Lead = static_cast<int>(C);
+            break;
+          }
+        if (Lead < 0) {
+          // Dependency: try to extract a factor.
+          Result.FactorLow64 = tryDependency(Mem, Solution, N, Base, Rel,
+                                             Comp[R], Rows);
+          if (Result.FactorLow64 > 1) {
+            Result.Factored = true;
+          }
+          break;
+        }
+        int P = PivotOfCol[static_cast<unsigned>(Lead)];
+        if (P < 0) {
+          PivotOfCol[static_cast<unsigned>(Lead)] = static_cast<int>(R);
+          break;
+        }
+        for (std::size_t W = 0; W != Mat[R].size(); ++W)
+          Mat[R][W] ^= Mat[static_cast<unsigned>(P)][W];
+        for (std::size_t W = 0; W != RowWords; ++W)
+          Comp[R][W] ^= Comp[static_cast<unsigned>(P)][W];
+      }
+    }
+  }
+
+  bool Dropped = Mem.dropRegion(Solution);
+  (void)Dropped;
+  return Result;
+}
+
+/// Combines the dependent relations into X^2 = Y^2 (mod N) and returns
+/// gcd(X - Y, N) if nontrivial (0 otherwise). Uses a scratch region.
+template <class M, class RelVec>
+std::uint64_t tryDependency(M &Mem, typename M::Token &Solution, Nat N,
+                            const std::vector<std::uint32_t> &Base,
+                            const RelVec &Rel,
+                            const std::vector<std::uint64_t> &Subset,
+                            unsigned Rows) {
+  (void)Solution;
+  typename M::Token Scratch = Mem.makeRegion();
+  ScopedArena<M> Arena{Mem, Scratch};
+  NatBuilder<ScopedArena<M>> T(Arena);
+
+  Nat X = T.fromU64(1);
+  std::vector<std::uint32_t> ExpSum(Base.size(), 0);
+  for (unsigned R = 0; R != Rows; ++R) {
+    if (!(Subset[R / 64] & (std::uint64_t{1} << (R % 64))))
+      continue;
+    X = T.mod(T.mul(X, Rel[R]->A), N);
+    for (std::size_t C = 0; C != Base.size(); ++C)
+      ExpSum[C] += Rel[R]->Exps[C];
+  }
+  Nat Y = T.fromU64(1);
+  for (std::size_t C = 0; C != Base.size(); ++C) {
+    std::uint32_t Half = ExpSum[C] / 2;
+    for (std::uint32_t E = 0; E != Half; ++E)
+      Y = T.mod(T.mulSmall(Y, Base[C]), N);
+  }
+  // gcd(X - Y mod N, N)
+  Nat Diff = natCompare(X, Y) >= 0 ? T.sub(X, Y) : T.sub(Y, X);
+  std::uint64_t Factor = 0;
+  if (!Diff.isZero()) {
+    Nat G = T.gcd(Diff, N);
+    if (!(G.Len == 1 && G.Limbs[0] == 1) && natCompare(G, N) != 0)
+      Factor = G.low64();
+  }
+  bool Dropped = Mem.dropRegion(Scratch);
+  (void)Dropped;
+  return Factor;
+}
+
+} // namespace workloads
+} // namespace regions
+
+#endif // WORKLOADS_CFRAC_H

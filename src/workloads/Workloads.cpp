@@ -1,0 +1,268 @@
+//===- workloads/Workloads.cpp - Benchmark workload registry --------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "alloc/BestFitAllocator.h"
+#include "alloc/BumpAllocator.h"
+#include "alloc/LeaAllocator.h"
+#include "alloc/PowerOfTwoAllocator.h"
+#include "backend/Models.h"
+#include "backend/TimedModel.h"
+#include "support/Stopwatch.h"
+#include "workloads/Cfrac.h"
+#include "workloads/Grobner.h"
+#include "workloads/Moss.h"
+#include "workloads/MudlleWork.h"
+#include "workloads/Tile.h"
+
+using namespace regions;
+using namespace regions::workloads;
+
+namespace {
+
+/// Problem sizes per Scale. The defaults (Scale = 1) are tuned so the
+/// full six-benchmark grid finishes in minutes on one core while
+/// keeping each workload's allocation profile shaped like the paper's.
+CfracOptions cfracOptions(const WorkloadOptions &Opt) {
+  CfracOptions C;
+  if (Opt.Scale >= 1.0) {
+    C.Decimal = "590314026497494106699"; // 70-bit semiprime
+    C.FactorBaseSize = 60;
+  } else if (Opt.Scale >= 0.3) {
+    C.Decimal = "1041483498857"; // 40-bit semiprime
+    C.FactorBaseSize = 40;
+  } else {
+    C.Decimal = "10967535067"; // 34-bit semiprime
+    C.FactorBaseSize = 30;
+  }
+  return C;
+}
+
+GrobnerOptions grobnerOptions(const WorkloadOptions &Opt) {
+  GrobnerOptions G;
+  G.Seed = Opt.Seed + 4;
+  if (Opt.Scale < 1.0) {
+    G.NumPolys = 6;
+    G.NumVars = 5;
+  }
+  if (Opt.Scale > 1.0)
+    G.MaxPairs = static_cast<unsigned>(20000 * Opt.Scale);
+  return G;
+}
+
+MudlleOptions mudlleOptions(const WorkloadOptions &Opt) {
+  MudlleOptions M;
+  M.Iterations = static_cast<unsigned>(100 * Opt.Scale);
+  if (M.Iterations == 0)
+    M.Iterations = 1;
+  M.Gen.Seed = Opt.Seed;
+  return M;
+}
+
+LccOptions lccOptions(const WorkloadOptions &Opt) {
+  LccOptions L;
+  L.Seed = Opt.Seed + 10;
+  L.Repeats = Opt.Scale >= 1.0 ? 2 : 1;
+  if (Opt.Scale < 0.3)
+    L.NumChunks = 4;
+  return L;
+}
+
+TileOptions tileOptions(const WorkloadOptions &Opt) {
+  TileOptions T;
+  T.NumDocs = static_cast<unsigned>(20 * Opt.Scale);
+  if (T.NumDocs == 0)
+    T.NumDocs = 1;
+  T.Text.Seed = Opt.Seed + 2;
+  return T;
+}
+
+MossOptions mossOptions(const WorkloadOptions &Opt) {
+  MossOptions Mo;
+  Mo.NumDocs = static_cast<unsigned>(60 * Opt.Scale);
+  if (Mo.NumDocs < 4)
+    Mo.NumDocs = 4;
+  Mo.Sub.Seed = Opt.Seed + 3;
+  Mo.SplitRegions = Opt.MossSplitRegions;
+  return Mo;
+}
+
+/// Runs the selected workload on a constructed model and collects the
+/// timing, checksum, and shadow-stack counters.
+template <class M>
+RunResult dispatch(WorkloadId W, M &Mem, const WorkloadOptions &Opt) {
+  RunResult R;
+  const auto Before = rt::RuntimeStack::current().counters();
+  Stopwatch Timer;
+  Timer.start();
+  switch (W) {
+  case WorkloadId::Cfrac: {
+    CfracResult X = runCfrac(Mem, cfracOptions(Opt));
+    R.Checksum = X.checksum();
+    R.Ok = X.Factored;
+    break;
+  }
+  case WorkloadId::Grobner: {
+    GrobnerResult X = runGrobner(Mem, grobnerOptions(Opt));
+    R.Checksum = X.checksum();
+    R.Ok = X.BasisSize > 0;
+    break;
+  }
+  case WorkloadId::Mudlle: {
+    MudlleResult X = runMudlle(Mem, mudlleOptions(Opt));
+    R.Checksum = X.checksum();
+    R.Ok = X.Ok;
+    break;
+  }
+  case WorkloadId::Lcc: {
+    MudlleResult X = runLcc(Mem, lccOptions(Opt));
+    R.Checksum = X.checksum();
+    R.Ok = X.Ok;
+    break;
+  }
+  case WorkloadId::Tile: {
+    TileResult X = runTile(Mem, tileOptions(Opt));
+    R.Checksum = X.checksum();
+    R.Ok = X.TotalBoundaries > 0;
+    break;
+  }
+  case WorkloadId::Moss: {
+    MossResult X = runMoss(Mem, mossOptions(Opt));
+    R.Checksum = X.checksum();
+    R.Ok = X.MatchingPairs > 0;
+    break;
+  }
+  }
+  Timer.stop();
+  R.Millis = Timer.millis();
+  const auto After = rt::RuntimeStack::current().counters();
+  R.StackScans = After.Scans - Before.Scans;
+  R.FramesScanned = After.FramesScanned - Before.FramesScanned;
+  R.FramesUnscanned = After.FramesUnscanned - Before.FramesUnscanned;
+  return R;
+}
+
+/// Runs the workload, optionally through the timing decorator.
+template <class M>
+RunResult dispatchMaybeTimed(WorkloadId W, M &Mem,
+                             const WorkloadOptions &Opt) {
+  if (!Opt.InstrumentMemoryTime)
+    return dispatch(W, Mem, Opt);
+  TimedModel<M> Timed(Mem);
+  RunResult R = dispatch(W, Timed, Opt);
+  R.InstrumentedMemoryNs = Timed.memoryNanos();
+  return R;
+}
+
+void fillFromMalloc(RunResult &R, const MallocInterface &A) {
+  const MallocStats &S = A.stats();
+  R.TotalAllocs = S.TotalAllocs;
+  R.TotalRequestedBytes = S.TotalRequestedBytes;
+  R.MaxLiveRequestedBytes = S.MaxLiveRequestedBytes;
+  R.OsBytes = A.osBytes();
+}
+
+void fillFromEmu(RunResult &R, const EmulationRegionLib &Lib) {
+  R.TotalRegions = Lib.stats().TotalRegions;
+  R.MaxLiveRegions = Lib.stats().MaxLiveRegions;
+  R.MaxRegionBytes = Lib.stats().MaxRegionBytes;
+  R.EmuOverheadBytes = Lib.stats().ListOverheadBytes;
+}
+
+void fillFromRegions(RunResult &R, const RegionManager &Mgr) {
+  const RegionStats &S = Mgr.stats();
+  R.TotalAllocs = S.TotalAllocs;
+  R.TotalRequestedBytes = S.TotalRequestedBytes;
+  R.MaxLiveRequestedBytes = S.MaxLiveRequestedBytes;
+  R.OsBytes = Mgr.osBytes();
+  R.TotalRegions = S.TotalRegions;
+  R.MaxLiveRegions = S.MaxLiveRegions;
+  R.MaxRegionBytes = S.MaxRegionBytes;
+  R.HasRegionStats = true;
+  R.Region = S;
+}
+
+} // namespace
+
+RunResult workloads::runWorkload(WorkloadId W, BackendKind Backend,
+                                 const WorkloadOptions &Opt) {
+  constexpr std::size_t kReserve = std::size_t{2} << 30;
+  CacheSim Cache;
+  CacheSim *CachePtr = Opt.TouchTracing ? &Cache : nullptr;
+  RunResult R;
+
+  switch (Backend) {
+  case BackendKind::RegionSafe:
+  case BackendKind::RegionUnsafe: {
+    SafetyConfig Cfg = Backend == BackendKind::RegionUnsafe
+                           ? SafetyConfig::unsafeConfig()
+                           : Opt.RegionConfig;
+    RegionManager Mgr(Cfg, kReserve);
+    RegionModel Mem(Mgr, CachePtr);
+    R = dispatchMaybeTimed(W, Mem, Opt);
+    fillFromRegions(R, Mgr);
+    break;
+  }
+  // The malloc/free rows run the region-structured program on the
+  // emulation library (objects freed individually when their scope
+  // dies), the same methodology the paper applies to its region-based
+  // programs; Figure 8 separates out the emulation list overhead.
+  case BackendKind::Sun:
+  case BackendKind::EmuSun: {
+    BestFitAllocator A(kReserve);
+    EmulationRegionLib Lib(A);
+    EmuModel Mem(Lib, CachePtr);
+    R = dispatchMaybeTimed(W, Mem, Opt);
+    fillFromMalloc(R, A);
+    fillFromEmu(R, Lib);
+    break;
+  }
+  case BackendKind::Bsd:
+  case BackendKind::EmuBsd: {
+    PowerOfTwoAllocator A(kReserve);
+    EmulationRegionLib Lib(A);
+    EmuModel Mem(Lib, CachePtr);
+    R = dispatchMaybeTimed(W, Mem, Opt);
+    fillFromMalloc(R, A);
+    fillFromEmu(R, Lib);
+    break;
+  }
+  case BackendKind::Lea:
+  case BackendKind::EmuLea: {
+    LeaAllocator A(kReserve);
+    EmulationRegionLib Lib(A);
+    EmuModel Mem(Lib, CachePtr);
+    R = dispatchMaybeTimed(W, Mem, Opt);
+    fillFromMalloc(R, A);
+    fillFromEmu(R, Lib);
+    break;
+  }
+  case BackendKind::Gc: {
+    GcHeap Heap(kReserve);
+    Heap.captureStackBottom();
+    DirectModel Mem(Heap, CachePtr, /*CallFree=*/false);
+    R = dispatchMaybeTimed(W, Mem, Opt);
+    fillFromMalloc(R, Heap);
+    R.HasGcStats = true;
+    R.Gc = Heap.gcStats();
+    break;
+  }
+  case BackendKind::Bump: {
+    BumpAllocator A(std::size_t{4} << 30);
+    DirectModel Mem(A, CachePtr, /*CallFree=*/false);
+    R = dispatchMaybeTimed(W, Mem, Opt);
+    fillFromMalloc(R, A);
+    break;
+  }
+  }
+
+  if (CachePtr) {
+    R.HasCacheStats = true;
+    R.Cache = Cache.stats();
+  }
+  return R;
+}

@@ -1,0 +1,110 @@
+//===- workloads/Workloads.h - Benchmark workload registry -----*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type-erased entry point for running any of the paper's six
+/// benchmarks on any backend, with uniform statistics for the tables
+/// and figures of §5. See the per-workload headers for the algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_WORKLOADS_H
+#define WORKLOADS_WORKLOADS_H
+
+#include "backend/Backend.h"
+#include "cachesim/CacheSim.h"
+#include "gc/GcHeap.h"
+#include "region/Region.h"
+
+#include <cstdint>
+
+namespace regions {
+namespace workloads {
+
+enum class WorkloadId { Cfrac, Grobner, Mudlle, Lcc, Tile, Moss };
+
+inline constexpr WorkloadId kAllWorkloads[] = {
+    WorkloadId::Cfrac, WorkloadId::Grobner, WorkloadId::Mudlle,
+    WorkloadId::Lcc,   WorkloadId::Tile,    WorkloadId::Moss};
+
+inline const char *workloadName(WorkloadId W) {
+  switch (W) {
+  case WorkloadId::Cfrac:
+    return "cfrac";
+  case WorkloadId::Grobner:
+    return "grobner";
+  case WorkloadId::Mudlle:
+    return "mudlle";
+  case WorkloadId::Lcc:
+    return "lcc";
+  case WorkloadId::Tile:
+    return "tile";
+  case WorkloadId::Moss:
+    return "moss";
+  }
+  return "?";
+}
+
+/// Knobs shared by the harness; workload-specific options use their
+/// defaults scaled by Scale.
+struct WorkloadOptions {
+  double Scale = 1.0;          ///< problem-size multiplier
+  bool MossSplitRegions = true;///< §5.5 locality optimization
+  bool TouchTracing = false;   ///< feed accesses to the cache simulator
+  /// Time every call into the memory model (the paper's library
+  /// instrumentation); adds per-call clock overhead.
+  bool InstrumentMemoryTime = false;
+  std::uint64_t Seed = 1;
+  /// Safety configuration for BackendKind::RegionSafe (Figure 11 togg-
+  /// les individual components); RegionUnsafe always disables all.
+  SafetyConfig RegionConfig = SafetyConfig::safeConfig();
+};
+
+/// Uniform result record for the §5 tables.
+struct RunResult {
+  double Millis = 0;
+  std::uint64_t Checksum = 0;
+  bool Ok = false;
+  /// Nanoseconds measured inside the memory model when
+  /// InstrumentMemoryTime was set (0 otherwise).
+  std::uint64_t InstrumentedMemoryNs = 0;
+
+  // Allocation behaviour (Tables 2 and 3).
+  std::uint64_t TotalAllocs = 0;
+  std::uint64_t TotalRequestedBytes = 0;
+  std::uint64_t MaxLiveRequestedBytes = 0;
+  std::uint64_t OsBytes = 0; ///< Figure 8's "OS" bar
+  std::uint64_t TotalRegions = 0;
+  std::uint64_t MaxLiveRegions = 0;
+  std::uint64_t MaxRegionBytes = 0;
+  std::uint64_t EmuOverheadBytes = 0; ///< Figure 8 "w/o overhead" variant
+
+  // Region safety details (Figure 11 and diagnostics).
+  bool HasRegionStats = false;
+  RegionStats Region;
+  std::uint64_t StackScans = 0;
+  std::uint64_t FramesScanned = 0;
+  std::uint64_t FramesUnscanned = 0;
+
+  // Collector details.
+  bool HasGcStats = false;
+  GcHeap::GcStats Gc;
+
+  // Cache simulation (Figure 10).
+  bool HasCacheStats = false;
+  CacheSim::Stats Cache;
+};
+
+/// Runs workload \p W on backend \p Backend. Every workload validates
+/// by checksum: for a given (workload, Scale, Seed) the checksum is
+/// identical across all backends.
+RunResult runWorkload(WorkloadId W, BackendKind Backend,
+                      const WorkloadOptions &Opt);
+
+} // namespace workloads
+} // namespace regions
+
+#endif // WORKLOADS_WORKLOADS_H

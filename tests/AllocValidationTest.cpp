@@ -1,0 +1,139 @@
+//===- tests/AllocValidationTest.cpp - Heap invariant fuzzing -------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Fuzzes the boundary-tag allocators (Sun best-fit and Lea) under
+// randomized alloc/free schedules, running the exhaustive heap
+// validator after every batch: chunk sizes, boundary-tag flags, free
+// footers, coalescing completeness, and fence integrity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BestFitAllocator.h"
+#include "alloc/LeaAllocator.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+template <class Allocator> class BoundaryTagFuzz : public ::testing::Test {};
+
+using BoundaryTagAllocators = ::testing::Types<LeaAllocator,
+                                               BestFitAllocator>;
+TYPED_TEST_SUITE(BoundaryTagFuzz, BoundaryTagAllocators);
+
+TYPED_TEST(BoundaryTagFuzz, FreshHeapValidates) {
+  TypeParam A(1 << 24);
+  auto Check = A.validateHeap();
+  EXPECT_TRUE(Check.Ok) << Check.Error;
+  EXPECT_EQ(Check.Chunks, 0u) << "no segments yet";
+  A.malloc(100);
+  Check = A.validateHeap();
+  EXPECT_TRUE(Check.Ok) << Check.Error;
+  EXPECT_GE(Check.Chunks, 1u);
+}
+
+TYPED_TEST(BoundaryTagFuzz, SplitAndCoalesceValidate) {
+  TypeParam A(1 << 24);
+  void *P1 = A.malloc(1000);
+  void *P2 = A.malloc(1000);
+  void *P3 = A.malloc(1000);
+  EXPECT_TRUE(A.validateHeap().Ok);
+  A.free(P2);
+  EXPECT_TRUE(A.validateHeap().Ok) << "hole between in-use chunks";
+  A.free(P1);
+  EXPECT_TRUE(A.validateHeap().Ok) << "left-coalesce";
+  A.free(P3);
+  auto Check = A.validateHeap();
+  EXPECT_TRUE(Check.Ok) << Check.Error;
+  EXPECT_EQ(Check.FreeChunks, 1u)
+      << "everything must coalesce back into the segment chunk";
+}
+
+TYPED_TEST(BoundaryTagFuzz, RandomScheduleKeepsInvariants) {
+  TypeParam A(std::size_t{1} << 28);
+  Prng Rng(2024);
+  std::vector<std::pair<void *, std::size_t>> Live;
+  for (int Batch = 0; Batch != 60; ++Batch) {
+    for (int Op = 0; Op != 300; ++Op) {
+      if (!Live.empty() && Rng.nextBool(0.45)) {
+        std::size_t I = Rng.nextBelow(Live.size());
+        A.free(Live[I].first);
+        Live[I] = Live.back();
+        Live.pop_back();
+      } else {
+        std::size_t Size = 1 + Rng.nextSkewed(0, 3000);
+        void *P = A.malloc(Size);
+        ASSERT_NE(P, nullptr);
+        Live.emplace_back(P, Size);
+      }
+    }
+    auto Check = A.validateHeap();
+    ASSERT_TRUE(Check.Ok) << "batch " << Batch << ": " << Check.Error;
+    ASSERT_GE(Check.Chunks, Live.size());
+  }
+  for (auto &[P, Size] : Live)
+    A.free(P);
+  auto Check = A.validateHeap();
+  EXPECT_TRUE(Check.Ok) << Check.Error;
+  EXPECT_EQ(Check.FreeChunks, A.segmentCount())
+      << "an empty heap is one free chunk per segment";
+}
+
+TYPED_TEST(BoundaryTagFuzz, FreeBytesAccounting) {
+  TypeParam A(1 << 26);
+  std::vector<void *> Ps;
+  for (int I = 0; I != 500; ++I)
+    Ps.push_back(A.malloc(64));
+  auto Before = A.validateHeap();
+  ASSERT_TRUE(Before.Ok);
+  for (void *P : Ps)
+    A.free(P);
+  auto After = A.validateHeap();
+  ASSERT_TRUE(After.Ok);
+  EXPECT_GT(After.FreeBytes, Before.FreeBytes + 500 * 64)
+      << "freed chunk bytes must reappear as free bytes";
+}
+
+TYPED_TEST(BoundaryTagFuzz, AlternatingHolePattern) {
+  // Free every other chunk (maximal fragmentation), then the rest
+  // (maximal coalescing) — the classic boundary-tag stress.
+  TypeParam A(1 << 26);
+  std::vector<void *> Ps;
+  for (int I = 0; I != 1000; ++I)
+    Ps.push_back(A.malloc(48));
+  for (int I = 0; I < 1000; I += 2)
+    A.free(Ps[I]);
+  auto Mid = A.validateHeap();
+  ASSERT_TRUE(Mid.Ok) << Mid.Error;
+  EXPECT_GT(Mid.FreeChunks, 400u) << "holes must not merge across "
+                                     "live chunks";
+  for (int I = 1; I < 1000; I += 2)
+    A.free(Ps[I]);
+  auto End = A.validateHeap();
+  ASSERT_TRUE(End.Ok) << End.Error;
+  EXPECT_EQ(End.FreeChunks, A.segmentCount());
+}
+
+TYPED_TEST(BoundaryTagFuzz, LargeAndSmallInterleaved) {
+  TypeParam A(std::size_t{1} << 28);
+  Prng Rng(7);
+  std::vector<void *> Live;
+  for (int I = 0; I != 400; ++I) {
+    Live.push_back(A.malloc(Rng.nextBool(0.1) ? 200000 : 40));
+    if (I % 50 == 49) {
+      auto Check = A.validateHeap();
+      ASSERT_TRUE(Check.Ok) << Check.Error;
+    }
+  }
+  for (std::size_t I = 0; I < Live.size(); I += 3)
+    A.free(Live[I]);
+  EXPECT_TRUE(A.validateHeap().Ok);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/EmulationTest.cpp - Region emulation library tests -----------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Direct tests of the §5.2 emulation library (region API implemented
+// object-by-object over malloc/free).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BestFitAllocator.h"
+#include "alloc/LeaAllocator.h"
+#include "alloc/PowerOfTwoAllocator.h"
+#include "emulation/EmulationRegions.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+struct EmulationTest : ::testing::Test {
+  LeaAllocator Malloc{std::size_t{1} << 26};
+  EmulationRegionLib Lib{Malloc};
+};
+
+TEST_F(EmulationTest, NewRegionIsEmpty) {
+  EmuRegion *R = Lib.newRegion();
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->NumObjects, 0u);
+  EXPECT_EQ(R->RequestedBytes, 0u);
+  Lib.deleteRegion(R);
+  EXPECT_EQ(R, nullptr) << "handle nulled, like deleteregion";
+}
+
+TEST_F(EmulationTest, AllocatesUsableMemory) {
+  EmuRegion *R = Lib.newRegion();
+  auto *P = static_cast<char *>(Lib.alloc(R, 100));
+  std::memset(P, 0x3c, 100);
+  EXPECT_EQ(P[99], 0x3c);
+  EXPECT_EQ(R->NumObjects, 1u);
+  EXPECT_EQ(R->RequestedBytes, 100u);
+  Lib.deleteRegion(R);
+}
+
+TEST_F(EmulationTest, DeleteFreesEveryObject) {
+  EmuRegion *R = Lib.newRegion();
+  for (int I = 0; I != 1000; ++I)
+    Lib.alloc(R, 24);
+  std::uint64_t AllocsBefore = Malloc.stats().TotalAllocs;
+  Lib.deleteRegion(R);
+  EXPECT_EQ(Malloc.stats().TotalFrees, AllocsBefore)
+      << "every object plus the region record freed individually";
+  EXPECT_EQ(Malloc.stats().LiveRequestedBytes, 0u);
+}
+
+TEST_F(EmulationTest, PerObjectOverheadIsEightBytes) {
+  EmuRegion *R = Lib.newRegion();
+  std::uint64_t Before = Lib.stats().ListOverheadBytes;
+  for (int I = 0; I != 10; ++I)
+    Lib.alloc(R, 50);
+  EXPECT_EQ(Lib.stats().ListOverheadBytes - Before,
+            10 * sizeof(EmuRegion::ObjHeader))
+      << "the paper's noted list overhead: one word per object";
+  Lib.deleteRegion(R);
+}
+
+TEST_F(EmulationTest, RegionStatsTrackLifecycle) {
+  EmuRegion *A = Lib.newRegion();
+  EmuRegion *B = Lib.newRegion();
+  Lib.alloc(A, 100);
+  Lib.alloc(B, 5000);
+  EXPECT_EQ(Lib.stats().TotalRegions, 2u);
+  EXPECT_EQ(Lib.stats().LiveRegions, 2u);
+  EXPECT_EQ(Lib.stats().MaxLiveRegions, 2u);
+  EXPECT_EQ(Lib.stats().MaxRegionBytes, 5000u);
+  Lib.deleteRegion(A);
+  EXPECT_EQ(Lib.stats().LiveRegions, 1u);
+  Lib.deleteRegion(B);
+  EXPECT_EQ(Lib.stats().LiveRegions, 0u);
+}
+
+TEST_F(EmulationTest, ManyRegionsChurn) {
+  Prng Rng(5);
+  for (int Round = 0; Round != 200; ++Round) {
+    EmuRegion *R = Lib.newRegion();
+    unsigned N = 1 + static_cast<unsigned>(Rng.nextBelow(50));
+    for (unsigned I = 0; I != N; ++I) {
+      auto *P = static_cast<unsigned char *>(
+          Lib.alloc(R, 1 + Rng.nextSkewed(0, 400)));
+      *P = static_cast<unsigned char>(Round);
+    }
+    EXPECT_EQ(R->NumObjects, N);
+    Lib.deleteRegion(R);
+  }
+  EXPECT_EQ(Malloc.stats().LiveRequestedBytes, 0u);
+  EXPECT_EQ(Lib.stats().LiveRegions, 0u);
+}
+
+TEST(EmulationOverAllocatorsTest, WorksOverEveryMalloc) {
+  BestFitAllocator Sun(1 << 24);
+  PowerOfTwoAllocator Bsd(1 << 24);
+  LeaAllocator Lea(1 << 24);
+  MallocInterface *Mallocs[] = {&Sun, &Bsd, &Lea};
+  for (MallocInterface *M : Mallocs) {
+    EmulationRegionLib Lib(*M);
+    EmuRegion *R = Lib.newRegion();
+    std::vector<char *> Ps;
+    for (int I = 0; I != 100; ++I) {
+      auto *P = static_cast<char *>(Lib.alloc(R, 64));
+      std::memset(P, I, 64);
+      Ps.push_back(P);
+    }
+    for (int I = 0; I != 100; ++I)
+      ASSERT_EQ(Ps[static_cast<unsigned>(I)][63], static_cast<char>(I))
+          << M->name();
+    Lib.deleteRegion(R);
+    EXPECT_EQ(M->stats().LiveRequestedBytes, 0u) << M->name();
+  }
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/ExtensionsTest.cpp - Future-work feature tests ---------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Covers the features the paper's §5.6 plans as future work and the
+// convenience layers built on the core: compile-time sameregion
+// pointers, lexically scoped regions, the bytecode disassembler, and
+// the instrumented timing model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/LeaAllocator.h"
+#include "backend/Models.h"
+#include "backend/TimedModel.h"
+#include "mudlle/Compiler.h"
+#include "mudlle/Disasm.h"
+#include "mudlle/Parser.h"
+#include "region/Regions.h"
+#include "region/Scoped.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SameRegionPtr: the §5.6 compile-time sameregion optimization
+//===----------------------------------------------------------------------===//
+
+struct FastNode {
+  int V = 0;
+  SameRegionPtr<FastNode> Next; ///< statically intra-region
+};
+
+TEST(SameRegionPtrTest, TriviallyDestructibleAndHeaderless) {
+  static_assert(std::is_trivially_destructible_v<FastNode>,
+                "SameRegionPtr must not force cleanup headers");
+  RegionManager Mgr;
+  Region *R = Mgr.newRegion();
+  // Trivially destructible objects take the pointer-free path; no
+  // cleanup thunks run at deletion.
+  for (int I = 0; I != 100; ++I)
+    rnew<FastNode>(R);
+  std::uint64_t Before = Mgr.stats().CleanupThunksRun;
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Mgr.stats().CleanupThunksRun, Before)
+      << "sameregion-only objects need no cleanup scan";
+}
+
+TEST(SameRegionPtrTest, NoBarrierTraffic) {
+  RegionManager Mgr;
+  Region *R = Mgr.newRegion();
+  FastNode *A = rnew<FastNode>(R);
+  FastNode *B = rnew<FastNode>(R);
+  std::uint64_t Stores = Mgr.stats().BarrierStores;
+  for (int I = 0; I != 1000; ++I)
+    A->Next = (I % 2) ? B : nullptr;
+  EXPECT_EQ(Mgr.stats().BarrierStores, Stores)
+      << "statically-recognized sameregion stores skip the barrier";
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_TRUE(Mgr.deleteRegionRaw(R));
+}
+
+TEST(SameRegionPtrTest, BuildsAndTraversesList) {
+  RegionManager Mgr;
+  rt::Frame F;
+  rt::RegionHandle R = Mgr.newRegion();
+  FastNode *Head = nullptr;
+  for (int I = 0; I != 500; ++I) {
+    FastNode *N = rnew<FastNode>(R);
+    N->V = I;
+    N->Next = Head;
+    Head = N;
+  }
+  long Sum = 0;
+  for (FastNode *N = Head; N; N = N->Next)
+    Sum += N->V;
+  EXPECT_EQ(Sum, 124750);
+  Head = nullptr;
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedRegion
+//===----------------------------------------------------------------------===//
+
+struct Node {
+  int V = 0;
+  RegionPtr<Node> Next;
+};
+
+TEST(ScopedRegionTest, DeletesAtScopeExit) {
+  RegionManager Mgr;
+  {
+    ScopedRegion Tmp(Mgr);
+    rnew<Node>(Tmp)->V = 1;
+    EXPECT_EQ(Mgr.liveRegionCount(), 1u);
+  }
+  EXPECT_EQ(Mgr.liveRegionCount(), 0u);
+}
+
+TEST(ScopedRegionTest, ResetDeletesEarly) {
+  RegionManager Mgr;
+  ScopedRegion Tmp(Mgr);
+  rnew<Node>(Tmp);
+  EXPECT_TRUE(Tmp.reset());
+  EXPECT_EQ(Mgr.liveRegionCount(), 0u);
+  EXPECT_EQ(Tmp.get(), nullptr);
+}
+
+TEST(ScopedRegionTest, ResetRefusedWhileReferenced) {
+  RegionManager Mgr;
+  rt::Frame F;
+  ScopedRegion Tmp(Mgr);
+  rt::Ref<Node> Keep = rnew<Node>(Tmp);
+  EXPECT_FALSE(Tmp.reset()) << "live reference blocks early reset";
+  EXPECT_NE(Tmp.get(), nullptr);
+  Keep = nullptr;
+  EXPECT_TRUE(Tmp.reset());
+}
+
+TEST(ScopedRegionTest, NestedScopes) {
+  RegionManager Mgr;
+  ScopedRegion Outer(Mgr);
+  Node *Kept = rnew<Node>(Outer);
+  {
+    ScopedRegion Inner(Mgr);
+    Node *Tmp = rnew<Node>(Inner);
+    Tmp->V = 9;
+    Kept->V = Tmp->V + 1;
+    EXPECT_EQ(Mgr.liveRegionCount(), 2u);
+  }
+  EXPECT_EQ(Mgr.liveRegionCount(), 1u);
+  EXPECT_EQ(Kept->V, 10);
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+TEST(DisasmTest, WordDisassembly) {
+  using namespace mud;
+  EXPECT_EQ(disassembleWord(encode(Op::PushImm, 42)), "push 42");
+  EXPECT_EQ(disassembleWord(encode(Op::PushImm, -3)), "push -3");
+  EXPECT_EQ(disassembleWord(encode(Op::Add)), "add");
+  EXPECT_EQ(disassembleWord(encode(Op::Jz, 7)), "jz 7");
+  EXPECT_EQ(disassembleWord(encode(Op::Ret)), "ret");
+  EXPECT_EQ(disassembleWord(encode(Op::Nop)), "nop");
+}
+
+TEST(DisasmTest, FullProgramDisassembly) {
+  using namespace mud;
+  LeaAllocator A;
+  DirectModel Mem(A);
+  DirectModel::Token Ast = Mem.makeRegion();
+  DirectModel::Token Code = Mem.makeRegion();
+  Parser<DirectModel> P(Mem, Ast,
+                        "fn twice(x) { return x + x; }\n"
+                        "fn main() { return twice(21); }");
+  auto *File = P.parseFile();
+  ASSERT_FALSE(P.failed());
+  Compiler<DirectModel> C(Mem, Code);
+  auto *Prog = C.compile(File);
+  ASSERT_NE(Prog, nullptr);
+  std::string Out = disassemble(*Prog);
+  EXPECT_NE(Out.find("fn twice (params=1"), std::string::npos);
+  EXPECT_NE(Out.find("fn main (params=0"), std::string::npos);
+  EXPECT_NE(Out.find("call 0"), std::string::npos)
+      << "main must call function index 0:\n" << Out;
+  EXPECT_NE(Out.find("ret"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// TimedModel
+//===----------------------------------------------------------------------===//
+
+TEST(TimedModelTest, AccumulatesTimeAndDelegates) {
+  RegionManager Mgr;
+  RegionModel Inner(Mgr);
+  TimedModel<RegionModel> Timed(Inner);
+  [[maybe_unused]] rt::Frame F;
+  TimedModel<RegionModel>::Token Scope = Timed.makeRegion();
+  for (int I = 0; I != 1000; ++I)
+    Timed.create<Node>(Scope);
+  Timed.allocBytes(Scope, 100);
+  Timed.strdup(Scope, "hello");
+  EXPECT_GT(Timed.memoryNanos(), 0u);
+  EXPECT_EQ(Mgr.stats().TotalAllocs, 1002u) << "calls reach the inner model";
+  EXPECT_TRUE(Timed.dropRegion(Scope));
+  EXPECT_EQ(Mgr.liveRegionCount(), 0u);
+}
+
+TEST(TimedModelTest, TouchIsUntimed) {
+  LeaAllocator A;
+  DirectModel Inner(A);
+  TimedModel<DirectModel> Timed(Inner);
+  int X = 0;
+  std::uint64_t Before = Timed.memoryNanos();
+  for (int I = 0; I != 1000; ++I)
+    Timed.touch(&X, 4, false);
+  EXPECT_EQ(Timed.memoryNanos(), Before);
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/GcStressTest.cpp - Collector stress and policy tests ---------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Beyond GcTest.cpp's unit coverage: allocation-policy behaviour,
+// metadata recycling, mixed object sizes under churn, and the
+// §1 heap-headroom claim in miniature.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GcHeap.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+struct Cell {
+  Cell *Next;
+  std::uint64_t Tag;
+  std::uint64_t Pad[2];
+};
+
+struct GcStressTest : ::testing::Test {
+  GcStressTest() : Heap(std::size_t{1} << 28) {
+    Heap.setScanMachineStack(false);
+  }
+  GcHeap Heap;
+};
+
+TEST_F(GcStressTest, SizeClassesServeAllSmallSizes) {
+  static void *Keep[256];
+  Heap.addRootRange(Keep, Keep + 256);
+  for (int I = 1; I <= 256; ++I) {
+    Keep[I - 1] = Heap.malloc(static_cast<std::size_t>(I) * 8);
+    std::memset(Keep[I - 1], 0x11, static_cast<std::size_t>(I) * 8);
+  }
+  Heap.collect();
+  for (int I = 1; I <= 256; ++I) {
+    ASSERT_TRUE(Heap.isLiveObject(Keep[I - 1])) << "size " << I * 8;
+    auto *P = static_cast<unsigned char *>(Keep[I - 1]);
+    ASSERT_EQ(P[static_cast<std::size_t>(I) * 8 - 1], 0x11u);
+  }
+  std::memset(Keep, 0, sizeof(Keep));
+  Heap.removeRootRange(Keep);
+}
+
+TEST_F(GcStressTest, BitmapSlotsAreRecycled) {
+  // Fill pages, free them all, fill again: the bitmap pool must not
+  // grow without bound.
+  for (int Round = 0; Round != 10; ++Round) {
+    for (int I = 0; I != 20000; ++I)
+      Heap.malloc(32);
+    Heap.collect();
+  }
+  // All rounds dead: heap stays bounded.
+  EXPECT_LT(Heap.osBytes(), std::size_t{16} << 20);
+}
+
+TEST_F(GcStressTest, LargeObjectChurnReusesRuns) {
+  for (int Round = 0; Round != 200; ++Round) {
+    void *P = Heap.malloc(6 * kPageSize);
+    std::memset(P, Round & 0xff, 6 * kPageSize);
+    if (Round % 16 == 15)
+      Heap.collect();
+  }
+  Heap.collect();
+  EXPECT_LT(Heap.osBytes(), std::size_t{32} << 20)
+      << "dead large runs must be reused";
+}
+
+TEST_F(GcStressTest, DeepListSurvivesRepeatedCollections) {
+  static Cell *Head;
+  Head = nullptr;
+  Heap.addRootRange(&Head, &Head + 1);
+  constexpr int N = 30000;
+  for (int I = 0; I != N; ++I) {
+    auto *C = static_cast<Cell *>(Heap.malloc(sizeof(Cell)));
+    C->Next = Head;
+    C->Tag = static_cast<std::uint64_t>(I) * 2654435761u;
+    Head = C;
+  }
+  for (int Round = 0; Round != 5; ++Round) {
+    Heap.collect();
+    int Count = 0;
+    std::uint64_t XorSum = 0;
+    for (Cell *C = Head; C; C = C->Next) {
+      XorSum ^= C->Tag;
+      ++Count;
+    }
+    ASSERT_EQ(Count, N) << "round " << Round;
+    std::uint64_t Expect = 0;
+    for (int I = 0; I != N; ++I)
+      Expect ^= static_cast<std::uint64_t>(I) * 2654435761u;
+    ASSERT_EQ(XorSum, Expect);
+  }
+  Head = nullptr;
+  Heap.removeRootRange(&Head);
+}
+
+TEST_F(GcStressTest, PartialDeathInSharedPages) {
+  // Objects of one size class share pages; killing every other object
+  // must free exactly those and keep the survivors intact.
+  static Cell *Survivors[500];
+  Heap.addRootRange(Survivors, Survivors + 500);
+  std::vector<Cell *> Doomed;
+  for (int I = 0; I != 1000; ++I) {
+    auto *C = static_cast<Cell *>(Heap.malloc(sizeof(Cell)));
+    C->Tag = static_cast<std::uint64_t>(I);
+    C->Next = nullptr;
+    if (I % 2 == 0)
+      Survivors[I / 2] = C;
+    else
+      Doomed.push_back(C);
+  }
+  Heap.collect();
+  for (int I = 0; I != 500; ++I) {
+    ASSERT_TRUE(Heap.isLiveObject(Survivors[I]));
+    ASSERT_EQ(Survivors[I]->Tag, static_cast<std::uint64_t>(I * 2));
+  }
+  for (Cell *C : Doomed)
+    EXPECT_FALSE(Heap.isLiveObject(C));
+  std::memset(Survivors, 0, sizeof(Survivors));
+  Heap.removeRootRange(Survivors);
+}
+
+TEST_F(GcStressTest, HeadroomPolicyControlsCollections) {
+  // The paper's §1 framing: less headroom, more collections.
+  auto ChurnWith = [](double Factor) {
+    GcHeap H(std::size_t{1} << 27);
+    H.setScanMachineStack(false);
+    H.setGrowthFactor(Factor);
+    static Cell *Core;
+    Core = nullptr;
+    H.addRootRange(&Core, &Core + 1);
+    for (int I = 0; I != 3000; ++I) { // live core
+      auto *C = static_cast<Cell *>(H.malloc(sizeof(Cell)));
+      C->Next = Core;
+      Core = C;
+    }
+    for (int I = 0; I != 100000; ++I) // garbage
+      H.malloc(sizeof(Cell));
+    std::uint64_t Collections = H.gcStats().Collections;
+    Core = nullptr;
+    H.removeRootRange(&Core);
+    return Collections;
+  };
+  std::uint64_t Tight = ChurnWith(0.25);
+  std::uint64_t Ample = ChurnWith(4.0);
+  EXPECT_GT(Tight, Ample * 3)
+      << "tight heaps must collect far more often";
+}
+
+TEST_F(GcStressTest, RandomGraphMutationUnderAutoCollect) {
+  Heap.setGrowthFactor(0.5); // collect aggressively
+  static Cell *Roots[64];
+  std::memset(Roots, 0, sizeof(Roots));
+  Heap.addRootRange(Roots, Roots + 64);
+  Prng Rng(31);
+  for (int Step = 0; Step != 100000; ++Step) {
+    unsigned Slot = static_cast<unsigned>(Rng.nextBelow(64));
+    auto *C = static_cast<Cell *>(Heap.malloc(sizeof(Cell)));
+    C->Next = Roots[Rng.nextBelow(64)];
+    C->Tag = reinterpret_cast<std::uintptr_t>(C) ^ 0x5a5a5a5a;
+    Roots[Slot] = C;
+  }
+  EXPECT_GT(Heap.gcStats().Collections, 0u);
+  // Verify integrity of everything reachable.
+  for (Cell *C : Roots) {
+    int Guard = 0;
+    for (Cell *Cur = C; Cur && Guard < 1000000; Cur = Cur->Next, ++Guard)
+      ASSERT_EQ(Cur->Tag, reinterpret_cast<std::uintptr_t>(Cur) ^
+                              0x5a5a5a5a);
+  }
+  std::memset(Roots, 0, sizeof(Roots));
+  Heap.removeRootRange(Roots);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/HarnessTest.cpp - Experiment harness tests -------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace regions;
+using namespace regions::harness;
+using namespace regions::workloads;
+
+namespace {
+
+struct HarnessTest : ::testing::Test {
+  void TearDown() override {
+    unsetenv("REGIONS_BENCH_SCALE");
+    unsetenv("REGIONS_BENCH_REPEATS");
+  }
+};
+
+TEST_F(HarnessTest, EnvScaleDefaultsToOne) {
+  unsetenv("REGIONS_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(envScale(), 1.0);
+}
+
+TEST_F(HarnessTest, EnvScaleParses) {
+  setenv("REGIONS_BENCH_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 0.25);
+  setenv("REGIONS_BENCH_SCALE", "bogus", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 1.0) << "garbage falls back to default";
+  setenv("REGIONS_BENCH_SCALE", "-2", 1);
+  EXPECT_DOUBLE_EQ(envScale(), 1.0) << "negative scale rejected";
+}
+
+TEST_F(HarnessTest, EnvRepeatsParses) {
+  unsetenv("REGIONS_BENCH_REPEATS");
+  EXPECT_EQ(envRepeats(), 3u);
+  setenv("REGIONS_BENCH_REPEATS", "7", 1);
+  EXPECT_EQ(envRepeats(), 7u);
+  setenv("REGIONS_BENCH_REPEATS", "0", 1);
+  EXPECT_EQ(envRepeats(), 3u) << "zero repeats rejected";
+}
+
+TEST_F(HarnessTest, DefaultOptionsHonourScale) {
+  setenv("REGIONS_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(defaultOptions().Scale, 0.5);
+}
+
+TEST_F(HarnessTest, RunMedianReturnsValidResult) {
+  WorkloadOptions Opt;
+  Opt.Scale = 0.1;
+  RunResult R = runMedian(WorkloadId::Tile, BackendKind::Lea, Opt, 3);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_GT(R.Millis, 0.0);
+  EXPECT_GT(R.TotalAllocs, 0u);
+}
+
+TEST_F(HarnessTest, RunMedianIsDeterministicInStats) {
+  WorkloadOptions Opt;
+  Opt.Scale = 0.1;
+  RunResult A = runMedian(WorkloadId::Grobner, BackendKind::Bsd, Opt, 1);
+  RunResult B = runMedian(WorkloadId::Grobner, BackendKind::Bsd, Opt, 3);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.TotalAllocs, B.TotalAllocs);
+  EXPECT_EQ(A.OsBytes, B.OsBytes);
+}
+
+TEST_F(HarnessTest, TimeSplitComponentsAreConsistent) {
+  WorkloadOptions Opt;
+  Opt.Scale = 0.1;
+  TimeSplit S = timeSplit(WorkloadId::Mudlle, BackendKind::Lea, Opt, 1);
+  EXPECT_GT(S.TotalMs, 0.0);
+  EXPECT_GT(S.BaseMs, 0.0);
+  EXPECT_GE(S.MemoryMs, 0.0);
+  EXPECT_LE(S.MemoryMs, S.TotalMs);
+}
+
+TEST_F(HarnessTest, WorkloadNamesAreStable) {
+  EXPECT_STREQ(workloadName(WorkloadId::Cfrac), "cfrac");
+  EXPECT_STREQ(workloadName(WorkloadId::Grobner), "grobner");
+  EXPECT_STREQ(workloadName(WorkloadId::Mudlle), "mudlle");
+  EXPECT_STREQ(workloadName(WorkloadId::Lcc), "lcc");
+  EXPECT_STREQ(workloadName(WorkloadId::Tile), "tile");
+  EXPECT_STREQ(workloadName(WorkloadId::Moss), "moss");
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+//===- tests/MudlleVmTest.cpp - Bytecode and VM coverage ------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Instruction-level coverage of the mud bytecode and VM beyond the
+// end-to-end tests in MudlleTest.cpp: encoding, every opcode's
+// semantics, step limits, and stress programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/LeaAllocator.h"
+#include "backend/Models.h"
+#include "mudlle/Compiler.h"
+#include "mudlle/Parser.h"
+#include "mudlle/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using namespace regions::mud;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Instruction encoding
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeTest, EncodeDecodeRoundTrips) {
+  for (std::int32_t Operand :
+       {0, 1, -1, 1000, -1000, kMaxImm, kMinImm}) {
+    for (Op O : {Op::PushImm, Op::Jmp, Op::Load, Op::Call}) {
+      std::uint32_t W = encode(O, Operand);
+      EXPECT_EQ(opOf(W), O);
+      EXPECT_EQ(operandOf(W), Operand);
+    }
+  }
+}
+
+TEST(BytecodeTest, NegativeOperandsUseArithmeticShift) {
+  std::uint32_t W = encode(Op::PushImm, -5);
+  EXPECT_EQ(operandOf(W), -5);
+  EXPECT_EQ(opOf(W), Op::PushImm);
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-assembled programs: exact opcode semantics
+//===----------------------------------------------------------------------===//
+
+/// Builds a one-function program from raw words and runs it.
+class AsmRunner {
+public:
+  AsmRunner() : Mem(Mgr), Code(Mem.makeRegion()) {}
+
+  VmResult run(std::initializer_list<std::uint32_t> Words,
+               std::uint16_t NumLocals = 4,
+               std::uint64_t MaxSteps = 100000) {
+    auto *Prog = Mem.create<CompiledProgram<RegionModel>>(Code);
+    auto *F = Mem.create<CompiledFunction<RegionModel>>(Code);
+    auto *Buf = static_cast<std::uint32_t *>(
+        Mem.allocBytes(Code, Words.size() * 4));
+    std::size_t I = 0;
+    for (std::uint32_t W : Words)
+      Buf[I++] = W;
+    F->Name = "main";
+    F->Code = Buf;
+    F->CodeLen = static_cast<std::uint32_t>(Words.size());
+    F->NumParams = 0;
+    F->NumLocals = NumLocals;
+    F->Index = 0;
+    Prog->Functions = F;
+    Prog->NumFunctions = 1;
+    Prog->MainIndex = 0;
+    Vm<RegionModel> Machine(*Prog);
+    return Machine.runMain(MaxSteps);
+  }
+
+private:
+  RegionManager Mgr;
+  RegionModel Mem;
+  rt::Frame Frame;
+  RegionModel::Token Code;
+};
+
+TEST(VmOpcodeTest, PushAndReturn) {
+  AsmRunner R;
+  VmResult V = R.run({encode(Op::PushImm, 77), encode(Op::Ret)});
+  ASSERT_TRUE(V.Ok);
+  EXPECT_EQ(V.Value, 77);
+}
+
+TEST(VmOpcodeTest, NopIsSkipped) {
+  AsmRunner R;
+  VmResult V = R.run({encode(Op::Nop), encode(Op::PushImm, 1),
+                      encode(Op::Nop), encode(Op::Ret)});
+  ASSERT_TRUE(V.Ok);
+  EXPECT_EQ(V.Value, 1);
+}
+
+TEST(VmOpcodeTest, LoadStoreLocals) {
+  AsmRunner R;
+  VmResult V = R.run({encode(Op::PushImm, 9), encode(Op::Store, 2),
+                      encode(Op::Load, 2), encode(Op::Load, 2),
+                      encode(Op::Add), encode(Op::Ret)});
+  ASSERT_TRUE(V.Ok);
+  EXPECT_EQ(V.Value, 18);
+}
+
+TEST(VmOpcodeTest, ArithmeticOpcodes) {
+  struct Case {
+    Op O;
+    std::int32_t A, B;
+    std::int64_t Expect;
+  };
+  const Case Cases[] = {
+      {Op::Add, 3, 4, 7},    {Op::Sub, 3, 4, -1},  {Op::Mul, -3, 4, -12},
+      {Op::Div, 9, 2, 4},    {Op::Div, 9, 0, 0},   {Op::Mod, 9, 4, 1},
+      {Op::Mod, 9, 0, 0},    {Op::Lt, 1, 2, 1},    {Op::Lt, 2, 1, 0},
+      {Op::Le, 2, 2, 1},     {Op::Gt, 3, 2, 1},    {Op::Ge, 1, 2, 0},
+      {Op::Eq, 5, 5, 1},     {Op::Ne, 5, 5, 0},
+  };
+  for (const Case &C : Cases) {
+    AsmRunner R;
+    VmResult V = R.run({encode(Op::PushImm, C.A), encode(Op::PushImm, C.B),
+                        encode(C.O), encode(Op::Ret)});
+    ASSERT_TRUE(V.Ok);
+    EXPECT_EQ(V.Value, C.Expect)
+        << "op " << static_cast<int>(C.O) << " " << C.A << "," << C.B;
+  }
+}
+
+TEST(VmOpcodeTest, NegAndNot) {
+  AsmRunner R1;
+  EXPECT_EQ(R1.run({encode(Op::PushImm, 5), encode(Op::Neg),
+                    encode(Op::Ret)})
+                .Value,
+            -5);
+  AsmRunner R2;
+  EXPECT_EQ(R2.run({encode(Op::PushImm, 0), encode(Op::Not),
+                    encode(Op::Ret)})
+                .Value,
+            1);
+}
+
+TEST(VmOpcodeTest, JumpsAndConditionals) {
+  // 0: push 1; 1: jz 4; 2: push 10; 3: ret; 4: push 20; 5: ret
+  AsmRunner R1;
+  EXPECT_EQ(R1.run({encode(Op::PushImm, 1), encode(Op::Jz, 4),
+                    encode(Op::PushImm, 10), encode(Op::Ret),
+                    encode(Op::PushImm, 20), encode(Op::Ret)})
+                .Value,
+            10);
+  AsmRunner R2;
+  EXPECT_EQ(R2.run({encode(Op::PushImm, 0), encode(Op::Jz, 4),
+                    encode(Op::PushImm, 10), encode(Op::Ret),
+                    encode(Op::PushImm, 20), encode(Op::Ret)})
+                .Value,
+            20);
+  AsmRunner R3;
+  EXPECT_EQ(R3.run({encode(Op::PushImm, 7), encode(Op::Jnz, 4),
+                    encode(Op::PushImm, 10), encode(Op::Ret),
+                    encode(Op::PushImm, 20), encode(Op::Ret)})
+                .Value,
+            20);
+}
+
+TEST(VmOpcodeTest, InfiniteLoopHitsStepLimit) {
+  AsmRunner R;
+  VmResult V = R.run({encode(Op::Jmp, 0)}, 1, 1000);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_STREQ(V.Error, "step limit exceeded");
+}
+
+TEST(VmOpcodeTest, FallingOffEndIsAnError) {
+  AsmRunner R;
+  VmResult V = R.run({encode(Op::PushImm, 1)});
+  EXPECT_FALSE(V.Ok);
+  EXPECT_STREQ(V.Error, "fell off the end of a function");
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled-program stress
+//===----------------------------------------------------------------------===//
+
+template <class M>
+VmResult compileAndRun(M &Mem, const char *Source) {
+  [[maybe_unused]] typename M::Frame F;
+  typename M::Token Ast = Mem.makeRegion();
+  typename M::Token Code = Mem.makeRegion();
+  VmResult R;
+  {
+    Parser<M> P(Mem, Ast, Source);
+    auto *File = P.parseFile();
+    if (P.failed()) {
+      R.Error = P.errorMessage();
+    } else {
+      Compiler<M> C(Mem, Code);
+      auto *Prog = C.compile(File);
+      if (!Prog)
+        R.Error = C.errorMessage();
+      else {
+        Vm<M> Machine(*Prog);
+        R = Machine.runMain();
+      }
+    }
+  }
+  Mem.dropRegion(Ast);
+  Mem.dropRegion(Code);
+  return R;
+}
+
+struct MudStressTest : ::testing::Test {
+  LeaAllocator A;
+  DirectModel Mem{A};
+};
+
+TEST_F(MudStressTest, DeepRecursion) {
+  VmResult R = compileAndRun(Mem, "fn down(n) { if (n <= 0) { return 0; }\n"
+                                  "  return down(n - 1) + 1; }\n"
+                                  "fn main() { return down(20000); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value, 20000);
+}
+
+TEST_F(MudStressTest, MutualCallsThroughManyFunctions) {
+  std::string Src;
+  // f0 returns its argument; f_i(n) = f_{i-1}(n) + 1.
+  Src += "fn f0(n) { return n; }\n";
+  for (int I = 1; I <= 60; ++I)
+    Src += "fn f" + std::to_string(I) + "(n) { return f" +
+           std::to_string(I - 1) + "(n) + 1; }\n";
+  Src += "fn main() { return f60(5); }";
+  VmResult R = compileAndRun(Mem, Src.c_str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value, 65);
+}
+
+TEST_F(MudStressTest, ManyLocalsInOneFunction) {
+  std::string Src = "fn main() {\n";
+  for (int I = 0; I != 200; ++I)
+    Src += "  var v" + std::to_string(I) + " = " + std::to_string(I) +
+           ";\n";
+  Src += "  var total = 0;\n";
+  for (int I = 0; I != 200; ++I)
+    Src += "  total = total + v" + std::to_string(I) + ";\n";
+  Src += "  return total;\n}\n";
+  VmResult R = compileAndRun(Mem, Src.c_str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value, 19900);
+}
+
+TEST_F(MudStressTest, NestedLoops) {
+  VmResult R = compileAndRun(
+      Mem, "fn main() { var s = 0; var i = 0;\n"
+           "  while (i < 100) { var j = 0;\n"
+           "    while (j < 100) { s = s + 1; j = j + 1; }\n"
+           "    i = i + 1; }\n"
+           "  return s; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value, 10000);
+}
+
+TEST_F(MudStressTest, CollatzIterations) {
+  VmResult R = compileAndRun(
+      Mem, "fn steps(n) { var c = 0;\n"
+           "  while (n != 1) {\n"
+           "    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }\n"
+           "    c = c + 1; }\n"
+           "  return c; }\n"
+           "fn main() { return steps(27); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value, 111) << "Collatz(27) takes 111 steps";
+}
+
+TEST_F(MudStressTest, OperatorPrecedenceTorture) {
+  // Comparisons are non-associative in mud (one per chain, like the
+  // grammar in Parser.h); parenthesize to chain them.
+  VmResult R = compileAndRun(
+      Mem, "fn main() { return ((1 + 2 * 3 - 4 / 2 % 3 < 6) == 1) && "
+           "!(2 > 3) || 0; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // 1 + 6 - (4/2)%3 = 7 - 2 = 5; 5 < 6 -> 1; 1 == 1 -> 1;
+  // 1 && !(0) -> 1; 1 || 0 -> 1.
+  EXPECT_EQ(R.Value, 1);
+}
+
+TEST_F(MudStressTest, ChainedComparisonIsASyntaxError) {
+  VmResult R = compileAndRun(Mem, "fn main() { return 1 < 2 < 3; }");
+  EXPECT_FALSE(R.Ok) << "comparison chains need parentheses";
+}
+
+} // namespace

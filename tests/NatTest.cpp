@@ -1,0 +1,249 @@
+//===- tests/NatTest.cpp - Bignum substrate tests -------------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Unit tests plus randomized property tests (cross-checked against
+// native 64-bit arithmetic and algebraic identities).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bignum/Nat.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+/// Test arena over the C++ heap.
+struct HeapArena {
+  ~HeapArena() {
+    for (void *P : Blocks)
+      std::free(P);
+  }
+  void *alloc(std::size_t N) {
+    void *P = std::malloc(N ? N : 1);
+    Blocks.push_back(P);
+    return P;
+  }
+  std::vector<void *> Blocks;
+};
+
+struct NatTest : ::testing::Test {
+  HeapArena A;
+  NatBuilder<HeapArena> B{A};
+
+  /// Random value of roughly \p Limbs 32-bit limbs.
+  Nat randomNat(Prng &Rng, unsigned Limbs) {
+    Nat V = B.fromU64(0);
+    for (unsigned I = 0; I < Limbs; ++I)
+      V = B.addSmall(B.shiftLeft(V, 32),
+                     static_cast<std::uint32_t>(Rng.next()));
+    return V;
+  }
+};
+
+TEST_F(NatTest, ZeroProperties) {
+  Nat Z = B.fromU64(0);
+  EXPECT_TRUE(Z.isZero());
+  EXPECT_EQ(Z.bitLength(), 0u);
+  EXPECT_EQ(Z.toU64(), 0u);
+  EXPECT_EQ(B.toDecimal(Z), "0");
+}
+
+TEST_F(NatTest, FromToU64RoundTrips) {
+  for (std::uint64_t V : {1ull, 255ull, 4294967295ull, 4294967296ull,
+                          0xdeadbeefcafef00dull, ~0ull}) {
+    EXPECT_EQ(B.fromU64(V).toU64(), V);
+  }
+}
+
+TEST_F(NatTest, FromDecimal) {
+  EXPECT_EQ(B.fromDecimal("0").toU64(), 0u);
+  EXPECT_EQ(B.fromDecimal("12345678901234567890").low64(),
+            B.fromU64(12345678901234567890ull).low64());
+  Nat Paper = B.fromDecimal("4175764634412486014593803028771");
+  EXPECT_EQ(B.toDecimal(Paper), "4175764634412486014593803028771");
+  EXPECT_EQ(Paper.bitLength(), 102u);
+}
+
+TEST_F(NatTest, CompareOrdersValues) {
+  EXPECT_EQ(natCompare(B.fromU64(5), B.fromU64(5)), 0);
+  EXPECT_LT(natCompare(B.fromU64(4), B.fromU64(5)), 0);
+  EXPECT_GT(natCompare(B.fromU64(1ull << 40), B.fromU64(5)), 0);
+}
+
+TEST_F(NatTest, AddSubSmallValues) {
+  EXPECT_EQ(B.add(B.fromU64(2), B.fromU64(3)).toU64(), 5u);
+  EXPECT_EQ(B.sub(B.fromU64(5), B.fromU64(3)).toU64(), 2u);
+  EXPECT_EQ(B.sub(B.fromU64(5), B.fromU64(5)).toU64(), 0u);
+}
+
+TEST_F(NatTest, CarriesPropagate) {
+  Nat Max32 = B.fromU64(0xffffffffull);
+  EXPECT_EQ(B.addSmall(Max32, 1).toU64(), 0x100000000ull);
+  Nat Max64 = B.fromU64(~0ull);
+  EXPECT_EQ(B.toDecimal(B.addSmall(Max64, 1)), "18446744073709551616");
+}
+
+TEST_F(NatTest, MulMatchesKnownValues) {
+  EXPECT_EQ(B.mul(B.fromU64(0), B.fromU64(9)).toU64(), 0u);
+  EXPECT_EQ(B.mul(B.fromU64(123456789), B.fromU64(987654321)).toU64(),
+            121932631112635269ull);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  Nat Sq = B.mul(B.fromU64(~0ull), B.fromU64(~0ull));
+  EXPECT_EQ(B.toDecimal(Sq), "340282366920938463426481119284349108225");
+}
+
+TEST_F(NatTest, DivModKnownValues) {
+  auto DM = B.divMod(B.fromU64(100), B.fromU64(7));
+  EXPECT_EQ(DM.Quot.toU64(), 14u);
+  EXPECT_EQ(DM.Rem.toU64(), 2u);
+  auto DM2 = B.divMod(B.fromU64(5), B.fromU64(10));
+  EXPECT_EQ(DM2.Quot.toU64(), 0u);
+  EXPECT_EQ(DM2.Rem.toU64(), 5u);
+  auto DM3 = B.divMod(B.fromDecimal("340282366920938463426481119284349108225"),
+                      B.fromU64(~0ull));
+  EXPECT_EQ(DM3.Quot.toU64(), ~0ull);
+  EXPECT_TRUE(DM3.Rem.isZero());
+}
+
+TEST_F(NatTest, SqrtKnownValues) {
+  EXPECT_EQ(B.sqrtFloor(B.fromU64(0)).toU64(), 0u);
+  EXPECT_EQ(B.sqrtFloor(B.fromU64(1)).toU64(), 1u);
+  EXPECT_EQ(B.sqrtFloor(B.fromU64(24)).toU64(), 4u);
+  EXPECT_EQ(B.sqrtFloor(B.fromU64(25)).toU64(), 5u);
+  EXPECT_EQ(B.sqrtFloor(B.fromU64(26)).toU64(), 5u);
+  Nat Big = B.fromDecimal("340282366920938463426481119284349108225");
+  EXPECT_EQ(B.sqrtFloor(Big).toU64(), ~0ull);
+}
+
+TEST_F(NatTest, GcdKnownValues) {
+  EXPECT_EQ(B.gcd(B.fromU64(12), B.fromU64(18)).toU64(), 6u);
+  EXPECT_EQ(B.gcd(B.fromU64(17), B.fromU64(5)).toU64(), 1u);
+  EXPECT_EQ(B.gcd(B.fromU64(0), B.fromU64(5)).toU64(), 5u);
+  EXPECT_EQ(B.gcd(B.fromU64(5), B.fromU64(0)).toU64(), 5u);
+}
+
+TEST_F(NatTest, ShiftLeftAndHalf) {
+  EXPECT_EQ(B.shiftLeft(B.fromU64(1), 40).toU64(), 1ull << 40);
+  EXPECT_EQ(B.half(B.fromU64(7)).toU64(), 3u);
+  EXPECT_EQ(B.half(B.shiftLeft(B.fromU64(1), 64)).toU64(), 1ull << 63);
+}
+
+TEST_F(NatTest, BitAccess) {
+  Nat V = B.fromU64(0b1010);
+  EXPECT_FALSE(V.bit(0));
+  EXPECT_TRUE(V.bit(1));
+  EXPECT_FALSE(V.bit(2));
+  EXPECT_TRUE(V.bit(3));
+  EXPECT_FALSE(V.bit(64));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized property tests against native 64-bit arithmetic
+//===----------------------------------------------------------------------===//
+
+struct NatPropertyTest : NatTest {};
+
+TEST_F(NatPropertyTest, AddMatchesU64) {
+  Prng Rng(1);
+  for (int I = 0; I < 2000; ++I) {
+    std::uint64_t X = Rng.next() >> 1, Y = Rng.next() >> 1;
+    EXPECT_EQ(B.add(B.fromU64(X), B.fromU64(Y)).toU64(), X + Y);
+  }
+}
+
+TEST_F(NatPropertyTest, SubMatchesU64) {
+  Prng Rng(2);
+  for (int I = 0; I < 2000; ++I) {
+    std::uint64_t X = Rng.next(), Y = Rng.next();
+    if (X < Y)
+      std::swap(X, Y);
+    EXPECT_EQ(B.sub(B.fromU64(X), B.fromU64(Y)).toU64(), X - Y);
+  }
+}
+
+TEST_F(NatPropertyTest, MulMatchesU64) {
+  Prng Rng(3);
+  for (int I = 0; I < 2000; ++I) {
+    std::uint64_t X = Rng.next() >> 32, Y = Rng.next() >> 32;
+    EXPECT_EQ(B.mul(B.fromU64(X), B.fromU64(Y)).toU64(), X * Y);
+  }
+}
+
+TEST_F(NatPropertyTest, DivModMatchesU64) {
+  Prng Rng(4);
+  for (int I = 0; I < 2000; ++I) {
+    std::uint64_t X = Rng.next(), Y = 1 + (Rng.next() >> (Rng.nextBelow(63)));
+    auto DM = B.divMod(B.fromU64(X), B.fromU64(Y));
+    EXPECT_EQ(DM.Quot.toU64(), X / Y);
+    EXPECT_EQ(DM.Rem.toU64(), X % Y);
+  }
+}
+
+TEST_F(NatPropertyTest, DivModReconstructs) {
+  // For big random values: X == Q*Y + R and R < Y.
+  Prng Rng(5);
+  for (int I = 0; I < 300; ++I) {
+    Nat X = randomNat(Rng, 1 + Rng.nextBelow(6));
+    Nat Y = randomNat(Rng, 1 + Rng.nextBelow(4));
+    if (Y.isZero())
+      continue;
+    auto DM = B.divMod(X, Y);
+    EXPECT_LT(natCompare(DM.Rem, Y), 0);
+    EXPECT_EQ(natCompare(B.add(B.mul(DM.Quot, Y), DM.Rem), X), 0);
+  }
+}
+
+TEST_F(NatPropertyTest, MulDivRoundTrip) {
+  Prng Rng(6);
+  for (int I = 0; I < 300; ++I) {
+    Nat X = randomNat(Rng, 1 + Rng.nextBelow(5));
+    Nat Y = randomNat(Rng, 1 + Rng.nextBelow(5));
+    if (Y.isZero())
+      continue;
+    auto DM = B.divMod(B.mul(X, Y), Y);
+    EXPECT_EQ(natCompare(DM.Quot, X), 0);
+    EXPECT_TRUE(DM.Rem.isZero());
+  }
+}
+
+TEST_F(NatPropertyTest, SqrtBrackets) {
+  Prng Rng(7);
+  for (int I = 0; I < 200; ++I) {
+    Nat X = randomNat(Rng, 1 + Rng.nextBelow(5));
+    Nat R = B.sqrtFloor(X);
+    EXPECT_LE(natCompare(B.mul(R, R), X), 0);
+    Nat R1 = B.addSmall(R, 1);
+    EXPECT_GT(natCompare(B.mul(R1, R1), X), 0);
+  }
+}
+
+TEST_F(NatPropertyTest, GcdDividesBoth) {
+  Prng Rng(8);
+  for (int I = 0; I < 200; ++I) {
+    Nat X = randomNat(Rng, 1 + Rng.nextBelow(4));
+    Nat Y = randomNat(Rng, 1 + Rng.nextBelow(4));
+    if (X.isZero() || Y.isZero())
+      continue;
+    Nat G = B.gcd(X, Y);
+    EXPECT_TRUE(B.mod(X, G).isZero());
+    EXPECT_TRUE(B.mod(Y, G).isZero());
+  }
+}
+
+TEST_F(NatPropertyTest, DecimalRoundTrip) {
+  Prng Rng(9);
+  for (int I = 0; I < 100; ++I) {
+    Nat X = randomNat(Rng, 1 + Rng.nextBelow(5));
+    std::string S = B.toDecimal(X);
+    EXPECT_EQ(natCompare(B.fromDecimal(S.c_str()), X), 0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+//===- tests/ParallelTest.cpp - Parallel region extension tests -----------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Tests the §1 parallel extension: per-thread local reference counts,
+// deletion when the sum is zero, and atomic-exchange pointer writes
+// keeping the sum exact under contention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Parallel.h"
+#include "region/Regions.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace regions;
+using namespace regions::par;
+
+namespace {
+
+struct ParallelTest : ::testing::Test {
+  ParallelSpace Space;
+};
+
+TEST_F(ParallelTest, RegisterThreadsGetDistinctSlots) {
+  unsigned A = Space.registerThread();
+  unsigned B = Space.registerThread();
+  EXPECT_NE(A, B);
+}
+
+TEST_F(ParallelTest, ShareAndDeleteWithZeroCount) {
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+  EXPECT_FALSE(Space.tryDelete(S)) << "second delete is a no-op";
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+TEST_F(ParallelTest, PositiveCountBlocksDeletion) {
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  Space.addRef(S, Tid);
+  EXPECT_FALSE(Space.tryDelete(S));
+  Space.dropRef(S, Tid);
+  EXPECT_TRUE(Space.tryDelete(S));
+}
+
+TEST_F(ParallelTest, CrossThreadCountsSumToZero) {
+  // Thread A creates a reference; thread B destroys it. A's local count
+  // is +1, B's is -1 — negative local counts are fine, the sum governs.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned TidA = Space.registerThread();
+  unsigned TidB = Space.registerThread();
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  Space.addRef(S, TidA);
+  EXPECT_EQ(S->totalCount(), 1);
+  Space.dropRef(S, TidB);
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+}
+
+TEST_F(ParallelTest, SharedExchangeAdjustsLocalCounts) {
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  int *Obj = rnew<int>(S->region(), 42);
+  std::atomic<int *> Slot{nullptr};
+  // Install: +1 on this thread.
+  int *Old = Space.sharedExchange(Slot, Obj, S, S, Tid);
+  EXPECT_EQ(Old, nullptr);
+  EXPECT_EQ(S->totalCount(), 1);
+  // Replace with null: -1.
+  Old = Space.sharedExchange<int>(Slot, nullptr, nullptr, S, Tid);
+  EXPECT_EQ(Old, Obj);
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+}
+
+TEST_F(ParallelTest, ManyThreadsChurnOneSlot) {
+  // The paper's claim: atomic exchange keeps counts exact under data
+  // races. N threads hammer one shared slot with install/clear pairs;
+  // afterwards the sum must equal exactly the surviving reference.
+  RegionManager OwnerMgr{SafetyConfig::unsafeConfig()};
+  SharedRegion *S = Space.share(OwnerMgr.newRegion());
+  int *Obj = rnew<int>(S->region(), 7);
+  std::atomic<int *> Slot{nullptr};
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      unsigned Tid = Space.registerThread();
+      for (int I = 0; I != kIters; ++I) {
+        // Each displaced value's count is dropped by the displacing
+        // thread, so the slot's content is counted exactly once.
+        int *New = (I + T) % 2 ? Obj : nullptr;
+        int *Old = Slot.load(std::memory_order_relaxed);
+        (void)Old;
+        Space.sharedExchange(Slot, New, New ? S : nullptr, S, Tid);
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  std::int64_t Expected = Slot.load() ? 1 : 0;
+  EXPECT_EQ(S->totalCount(), Expected)
+      << "atomic exchange must keep the summed count exact";
+  // Clear the slot and delete.
+  unsigned Tid = Space.registerThread();
+  Space.sharedExchange<int>(Slot, nullptr, nullptr, S, Tid);
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+}
+
+TEST_F(ParallelTest, ThreadsBuildInPrivateRegionsAndShare) {
+  // The paper's usage model: threads allocate in their own regions
+  // (no allocator synchronization) and publish references through
+  // shared slots.
+  constexpr int kThreads = 4;
+  std::atomic<int *> Results[kThreads] = {};
+  std::vector<SharedRegion *> Shared(kThreads);
+  // Per-thread managers, owned beyond the threads' lifetimes so
+  // published pointers stay valid until the main thread deletes.
+  std::vector<std::unique_ptr<RegionManager>> Managers;
+  for (int T = 0; T != kThreads; ++T)
+    Managers.push_back(std::make_unique<RegionManager>(
+        SafetyConfig::unsafeConfig(), std::size_t{64} << 20));
+  {
+    std::vector<std::thread> Threads;
+    std::atomic<int> Ready{0};
+    for (int T = 0; T != kThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        unsigned Tid = Space.registerThread();
+        // Thread-private manager: allocation needs no locks.
+        RegionManager &Mgr = *Managers[static_cast<std::size_t>(T)];
+        Region *R = Mgr.newRegion();
+        SharedRegion *S = Space.share(R);
+        Shared[static_cast<std::size_t>(T)] = S;
+        int *Val = rnew<int>(R, T * 100);
+        Space.sharedExchange(Results[T], Val, S, S, Tid);
+        ++Ready;
+        while (Ready.load() != kThreads)
+          std::this_thread::yield();
+        // Read a neighbour's published value.
+        int *Peer = Results[(T + 1) % kThreads].load();
+        EXPECT_EQ(*Peer, ((T + 1) % kThreads) * 100);
+      });
+    }
+    for (auto &T : Threads)
+      T.join();
+  }
+  // Main thread unpublishes and deletes everything.
+  unsigned Tid = Space.registerThread();
+  for (int T = 0; T != kThreads; ++T) {
+    EXPECT_FALSE(Space.tryDelete(Shared[T])) << "still referenced";
+    Space.sharedExchange<int>(Results[T], nullptr, nullptr, Shared[T], Tid);
+    EXPECT_TRUE(Space.tryDelete(Shared[T]));
+  }
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+} // namespace

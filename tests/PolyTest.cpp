@@ -1,0 +1,242 @@
+//===- tests/PolyTest.cpp - Polynomial substrate tests --------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Poly.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+struct HeapArena {
+  ~HeapArena() {
+    for (void *P : Blocks)
+      std::free(P);
+  }
+  void *alloc(std::size_t N) {
+    void *P = std::malloc(N ? N : 1);
+    Blocks.push_back(P);
+    return P;
+  }
+  std::vector<void *> Blocks;
+};
+
+struct PolyTest : ::testing::Test {
+  HeapArena A;
+  PolyBuilder<HeapArena> B{A};
+
+  /// x_I as a polynomial.
+  Poly var(unsigned I) { return B.monomial(1, Monomial::var(I)); }
+
+  Poly randomPoly(Prng &Rng, unsigned Terms, unsigned Vars, unsigned MaxExp) {
+    std::vector<Term> Raw;
+    for (unsigned T = 0; T != Terms; ++T) {
+      Term X;
+      X.Coeff = 1 + static_cast<std::uint32_t>(
+                        Rng.nextBelow(kFieldPrime - 1));
+      unsigned Total = 0;
+      for (unsigned V = 0; V != Vars; ++V) {
+        X.Mono.Exp[V] = static_cast<std::uint8_t>(Rng.nextBelow(MaxExp + 1));
+        Total += X.Mono.Exp[V];
+      }
+      X.Mono.Total = static_cast<std::uint8_t>(Total);
+      Raw.push_back(X);
+    }
+    return B.normalize(Raw.data(), static_cast<std::uint32_t>(Raw.size()));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Field arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST(FieldTest, BasicOps) {
+  EXPECT_EQ(fieldAdd(kFieldPrime - 1, 1), 0u);
+  EXPECT_EQ(fieldSub(0, 1), kFieldPrime - 1);
+  EXPECT_EQ(fieldMul(2, 3), 6u);
+  EXPECT_EQ(fieldPow(2, 10), 1024u);
+}
+
+TEST(FieldTest, InverseIsInverse) {
+  Prng Rng(1);
+  for (int I = 0; I < 500; ++I) {
+    auto V = 1 + static_cast<std::uint32_t>(Rng.nextBelow(kFieldPrime - 1));
+    EXPECT_EQ(fieldMul(V, fieldInv(V)), 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Monomials
+//===----------------------------------------------------------------------===//
+
+TEST(MonomialTest, TimesAndDivides) {
+  Monomial X = Monomial::var(0, 2);
+  Monomial Y = Monomial::var(1, 3);
+  Monomial P = X.times(Y);
+  EXPECT_EQ(P.Total, 5);
+  EXPECT_TRUE(X.divides(P));
+  EXPECT_TRUE(Y.divides(P));
+  EXPECT_FALSE(P.divides(X));
+  EXPECT_TRUE(P.dividedBy(X).equals(Y));
+}
+
+TEST(MonomialTest, LcmAndCoprime) {
+  Monomial X = Monomial::var(0, 2);
+  Monomial Y = Monomial::var(0, 1).times(Monomial::var(1, 1));
+  Monomial L = X.lcmWith(Y);
+  EXPECT_EQ(L.Exp[0], 2);
+  EXPECT_EQ(L.Exp[1], 1);
+  EXPECT_FALSE(X.coprimeWith(Y));
+  EXPECT_TRUE(X.coprimeWith(Monomial::var(2)));
+}
+
+TEST(MonomialTest, GrevlexOrder) {
+  // Total degree dominates.
+  EXPECT_LT(monomialCompare(Monomial::var(0, 1), Monomial::var(1, 2)), 0);
+  // Same degree: x0^2 > x0*x1 > x1^2 under grevlex.
+  Monomial X2 = Monomial::var(0, 2);
+  Monomial XY = Monomial::var(0).times(Monomial::var(1));
+  Monomial Y2 = Monomial::var(1, 2);
+  EXPECT_GT(monomialCompare(X2, XY), 0);
+  EXPECT_GT(monomialCompare(XY, Y2), 0);
+  EXPECT_EQ(monomialCompare(XY, XY), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Polynomial arithmetic
+//===----------------------------------------------------------------------===//
+
+TEST_F(PolyTest, NormalizeSortsAndCombines) {
+  Term Raw[3];
+  Raw[0] = {5, Monomial::var(1)};
+  Raw[1] = {7, Monomial::var(0)};
+  Raw[2] = {kFieldPrime - 5, Monomial::var(1)}; // cancels Raw[0]
+  Poly P = B.normalize(Raw, 3);
+  ASSERT_EQ(P.NumTerms, 1u);
+  EXPECT_EQ(P.lead().Coeff, 7u);
+  EXPECT_TRUE(P.lead().Mono.equals(Monomial::var(0)));
+}
+
+TEST_F(PolyTest, AddSubRoundTrip) {
+  Prng Rng(2);
+  for (int I = 0; I < 100; ++I) {
+    Poly X = randomPoly(Rng, 8, 4, 3);
+    Poly Y = randomPoly(Rng, 8, 4, 3);
+    Poly Z = B.sub(B.add(X, Y), Y);
+    EXPECT_EQ(Z.hash(), X.hash());
+  }
+}
+
+TEST_F(PolyTest, AddIsCommutative) {
+  Prng Rng(3);
+  for (int I = 0; I < 100; ++I) {
+    Poly X = randomPoly(Rng, 6, 5, 2);
+    Poly Y = randomPoly(Rng, 6, 5, 2);
+    EXPECT_EQ(B.add(X, Y).hash(), B.add(Y, X).hash());
+  }
+}
+
+TEST_F(PolyTest, MulDistributesOverAdd) {
+  Prng Rng(4);
+  for (int I = 0; I < 50; ++I) {
+    Poly X = randomPoly(Rng, 4, 3, 2);
+    Poly Y = randomPoly(Rng, 4, 3, 2);
+    Poly Z = randomPoly(Rng, 4, 3, 2);
+    Poly L = B.mul(X, B.add(Y, Z));
+    Poly R = B.add(B.mul(X, Y), B.mul(X, Z));
+    EXPECT_EQ(L.hash(), R.hash());
+  }
+}
+
+TEST_F(PolyTest, MulTermMatchesMul) {
+  Prng Rng(5);
+  for (int I = 0; I < 50; ++I) {
+    Poly X = randomPoly(Rng, 5, 4, 2);
+    Monomial M = Monomial::var(1, 2);
+    Poly L = B.mulTerm(X, 7, M);
+    Poly R = B.mul(X, B.monomial(7, M));
+    EXPECT_EQ(L.hash(), R.hash());
+  }
+}
+
+TEST_F(PolyTest, MakeMonicNormalizesLead) {
+  Prng Rng(6);
+  Poly X = randomPoly(Rng, 6, 4, 3);
+  Poly M = B.makeMonic(X);
+  EXPECT_EQ(M.lead().Coeff, 1u);
+  // Scaling back gives the original.
+  Poly Back = B.mulTerm(M, X.lead().Coeff, Monomial::one());
+  EXPECT_EQ(Back.hash(), X.hash());
+}
+
+TEST_F(PolyTest, SPolyCancelsLeads) {
+  Prng Rng(7);
+  for (int I = 0; I < 50; ++I) {
+    Poly X = randomPoly(Rng, 5, 4, 2);
+    Poly Y = randomPoly(Rng, 5, 4, 2);
+    if (X.isZero() || Y.isZero())
+      continue;
+    Poly S = B.sPoly(X, Y);
+    if (S.isZero())
+      continue;
+    Monomial L = X.lead().Mono.lcmWith(Y.lead().Mono);
+    EXPECT_LT(monomialCompare(S.lead().Mono, L), 0)
+        << "S-polynomial lead must cancel the lcm";
+  }
+}
+
+TEST_F(PolyTest, ReduceByDivisorGivesZero) {
+  Prng Rng(8);
+  for (int I = 0; I < 50; ++I) {
+    Poly G = B.makeMonic(randomPoly(Rng, 4, 3, 2));
+    if (G.isZero())
+      continue;
+    Poly Q = randomPoly(Rng, 3, 3, 2);
+    Poly F = B.mul(G, Q);
+    Poly Basis[1] = {G};
+    Poly R = B.reduce(F, Basis, 1);
+    EXPECT_TRUE(R.isZero()) << "multiple of G must reduce to zero mod {G}";
+  }
+}
+
+TEST_F(PolyTest, ReduceLeavesIrreducible) {
+  // x0 is irreducible modulo {x1}.
+  Poly F = var(0);
+  Poly Basis[1] = {var(1)};
+  Poly R = B.reduce(F, Basis, 1);
+  EXPECT_EQ(R.hash(), F.hash());
+}
+
+TEST_F(PolyTest, ReduceCountsSteps) {
+  Poly G = var(0);
+  Poly F = B.add(B.mul(var(0), var(0)), var(0)); // x0^2 + x0
+  Poly Basis[1] = {G};
+  std::uint64_t Steps = 0;
+  Poly R = B.reduce(F, Basis, 1, &Steps);
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(Steps, 2u);
+}
+
+TEST_F(PolyTest, RenderReadable) {
+  Poly P = B.add(B.monomial(3, Monomial::var(0, 2)), B.constant(7));
+  EXPECT_EQ(B.render(P), "3*x0^2 + 7");
+  EXPECT_EQ(B.render(B.zero()), "0");
+}
+
+TEST_F(PolyTest, HashDetectsDifferences) {
+  Prng Rng(9);
+  Poly X = randomPoly(Rng, 6, 4, 3);
+  Poly Y = B.add(X, B.constant(1));
+  EXPECT_NE(X.hash(), Y.hash());
+  EXPECT_EQ(X.hash(), B.copy(X).hash());
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- tests/RegionPropertyTest.cpp - Model-checked safety properties -----===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Randomized property tests: a reference model tracks every pointer we
+// create (heap fields, globals, registered locals) and predicts, for
+// each region, the paper's deletion rule. After every random operation
+// batch the library's reference counts and deleteRegion verdicts must
+// match the model exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+#include "support/Prng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+struct Node {
+  int Id = 0;
+  RegionPtr<Node> Out; ///< one heap reference per node keeps the model simple
+};
+
+/// One global slot per test run.
+RegionPtr<Node> GlobalSlot;
+
+/// The oracle: predicts each region's reference count from first
+/// principles (paper §4.2: count pointers from other regions, global
+/// storage, and scanned stack frames; sameregion pointers and
+/// unscanned locals are never counted).
+struct Model {
+  struct HeapEdge {
+    int FromRegion; ///< region holding the pointer
+    int ToRegion;   ///< region pointed into
+  };
+  std::map<const void *, HeapEdge> HeapEdges; ///< keyed by slot address
+  int GlobalTarget = -1;                      ///< region id or -1
+
+  long long expectedCount(int RegionId, bool CountsOn) const {
+    if (!CountsOn)
+      return 0;
+    long long N = 0;
+    for (const auto &[Slot, Edge] : HeapEdges)
+      if (Edge.ToRegion == RegionId && Edge.FromRegion != RegionId)
+        ++N;
+    if (GlobalTarget == RegionId)
+      ++N;
+    return N;
+  }
+};
+
+struct RegionPropertyTest : ::testing::TestWithParam<std::uint64_t> {
+  void SetUp() override { GlobalSlot = nullptr; }
+};
+
+TEST_P(RegionPropertyTest, CountsMatchTheModel) {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{256} << 20};
+  Prng Rng(GetParam());
+  Model Oracle;
+
+  constexpr int kRegions = 6;
+  constexpr int kNodesPerRegion = 8;
+  std::vector<Region *> Regions;
+  std::vector<std::vector<Node *>> Nodes(kRegions);
+  for (int R = 0; R != kRegions; ++R) {
+    Regions.push_back(Mgr.newRegion());
+    for (int N = 0; N != kNodesPerRegion; ++N)
+      Nodes[R].push_back(rnew<Node>(Regions[static_cast<unsigned>(R)]));
+  }
+
+  auto CheckAllCounts = [&](const char *When) {
+    for (int R = 0; R != kRegions; ++R)
+      ASSERT_EQ(Regions[R]->referenceCount(),
+                Oracle.expectedCount(R, true))
+          << When << ": region " << R;
+  };
+
+  for (int Step = 0; Step != 3000; ++Step) {
+    int FromR = static_cast<int>(Rng.nextBelow(kRegions));
+    int FromN = static_cast<int>(Rng.nextBelow(kNodesPerRegion));
+    Node *Holder = Nodes[FromR][FromN];
+    switch (Rng.nextBelow(4)) {
+    case 0: { // point a heap field at a random node
+      int ToR = static_cast<int>(Rng.nextBelow(kRegions));
+      int ToN = static_cast<int>(Rng.nextBelow(kNodesPerRegion));
+      Holder->Out = Nodes[ToR][ToN];
+      Oracle.HeapEdges[&Holder->Out] = {FromR, ToR};
+      break;
+    }
+    case 1: // clear a heap field
+      Holder->Out = nullptr;
+      Oracle.HeapEdges.erase(&Holder->Out);
+      break;
+    case 2: { // retarget the global
+      int ToR = static_cast<int>(Rng.nextBelow(kRegions));
+      GlobalSlot = Nodes[ToR][0];
+      Oracle.GlobalTarget = ToR;
+      break;
+    }
+    case 3: // clear the global
+      GlobalSlot = nullptr;
+      Oracle.GlobalTarget = -1;
+      break;
+    }
+    if (Step % 250 == 0)
+      CheckAllCounts("mid-run");
+  }
+  CheckAllCounts("final");
+
+  // Deletion verdicts must match the oracle for every region.
+  for (int R = 0; R != kRegions; ++R) {
+    bool Expect = Oracle.expectedCount(R, true) == 0;
+    Region *Target = Regions[R];
+    bool Got = Mgr.deleteRegionRaw(Target);
+    EXPECT_EQ(Got, Expect) << "region " << R;
+    if (!Got)
+      continue;
+    // Deleting the region dropped its outgoing edges; fix the model.
+    for (auto It = Oracle.HeapEdges.begin();
+         It != Oracle.HeapEdges.end();) {
+      if (It->second.FromRegion == R || It->second.ToRegion == R)
+        It = Oracle.HeapEdges.erase(It);
+      else
+        ++It;
+    }
+    if (Oracle.GlobalTarget == R) {
+      // The global still points into freed pages: clear it without
+      // barrier effects (regionOf is already null for freed pages).
+      GlobalSlot = nullptr;
+      Oracle.GlobalTarget = -1;
+    }
+    Regions[R] = nullptr;
+    // Verify the survivors immediately: the cleanup scan must have
+    // decremented exactly the dead region's outgoing references.
+    for (int S = 0; S != kRegions; ++S) {
+      if (!Regions[S])
+        continue;
+      ASSERT_EQ(Regions[S]->referenceCount(),
+                Oracle.expectedCount(S, true))
+          << "after deleting region " << R << ", survivor " << S;
+    }
+  }
+}
+
+TEST_P(RegionPropertyTest, LocalsNeverAffectCountsUntilScan) {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{128} << 20};
+  Prng Rng(GetParam() * 977 + 5);
+  rt::Frame Outer;
+
+  Region *R = Mgr.newRegion();
+  std::vector<Node *> Pool;
+  for (int N = 0; N != 16; ++N)
+    Pool.push_back(rnew<Node>(R));
+
+  // Churn registered locals wildly: counts must stay untouched.
+  {
+    rt::Ref<Node> A, B, C;
+    for (int Step = 0; Step != 2000; ++Step) {
+      rt::Ref<Node> *Target =
+          Rng.nextBelow(3) == 0 ? &A : Rng.nextBelow(2) ? &B : &C;
+      *Target = Rng.nextBool(0.2)
+                    ? nullptr
+                    : Pool[Rng.nextBelow(Pool.size())];
+      ASSERT_EQ(R->referenceCount(), 0) << "locals are deferred";
+    }
+    // Now force a scan from a callee frame: exactly the live locals
+    // pointing into R must be counted.
+    {
+      rt::Frame Inner;
+      rt::RuntimeStack::current().scanForDelete();
+      long long Live = (A.get() != nullptr) + (B.get() != nullptr) +
+                       (C.get() != nullptr);
+      ASSERT_EQ(R->referenceCount(), Live);
+    }
+    ASSERT_EQ(R->referenceCount(), 0) << "unscan on return";
+    A = nullptr;
+    B = nullptr;
+    C = nullptr;
+  }
+  EXPECT_TRUE(Mgr.deleteRegionRaw(R));
+}
+
+TEST_P(RegionPropertyTest, RandomScopeNestingBalances) {
+  // Randomly nested frames with scans at random depths: after
+  // everything unwinds, every region's count must be zero again.
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{128} << 20};
+  Prng Rng(GetParam() * 31 + 7);
+  Region *R = Mgr.newRegion();
+  std::vector<Node *> Pool;
+  for (int N = 0; N != 8; ++N)
+    Pool.push_back(rnew<Node>(R));
+
+  struct Rec {
+    static void go(Prng &Rng, Region *R, std::vector<Node *> &Pool,
+                   int Depth) {
+      rt::Frame F;
+      rt::Ref<Node> L1 = Pool[Rng.nextBelow(Pool.size())];
+      rt::Ref<Node> L2 =
+          Rng.nextBool(0.5) ? Pool[Rng.nextBelow(Pool.size())] : nullptr;
+      if (Rng.nextBool(0.3))
+        rt::RuntimeStack::current().scanForDelete();
+      if (Depth < 12 && Rng.nextBool(0.7))
+        go(Rng, R, Pool, Depth + 1);
+      if (Rng.nextBool(0.3))
+        rt::RuntimeStack::current().scanForDelete();
+      // Mutate locals after possible scans (the localWrite slow path
+      // when our frame was scanned by a callee's deletion).
+      L1 = Pool[Rng.nextBelow(Pool.size())];
+      L2 = nullptr;
+    }
+  };
+  {
+    rt::Frame Top;
+    Rec::go(Rng, R, Pool, 0);
+    Rec::go(Rng, R, Pool, 0);
+  }
+  EXPECT_EQ(R->referenceCount(), 0)
+      << "scan/unscan/localWrite must balance exactly";
+  EXPECT_TRUE(Mgr.deleteRegionRaw(R));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                         [](const ::testing::TestParamInfo<std::uint64_t> &I) {
+                           return "seed" + std::to_string(I.param);
+                         });
+
+} // namespace

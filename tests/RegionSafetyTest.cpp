@@ -1,0 +1,419 @@
+//===- tests/RegionSafetyTest.cpp - Safe deletion semantics ---------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// The paper's central safety property: deleteregion(&r) succeeds iff
+// there are no external references to objects in r (excepting *x), where
+// external references live in other regions, global storage, or live
+// stack variables. Cycles within one region must still collect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using rt::Frame;
+using rt::Ref;
+using rt::RegionHandle;
+
+namespace {
+
+struct Node {
+  explicit Node(int V = 0) : Value(V) {}
+  int Value;
+  RegionPtr<Node> Next;
+};
+
+/// A global region pointer (the paper's "global storage" case).
+RegionPtr<Node> GlobalNode;
+
+struct RegionSafetyTest : ::testing::Test {
+  void SetUp() override {
+    ASSERT_EQ(rt::RuntimeStack::current().frameCount(), 0u);
+    GlobalNode = nullptr;
+  }
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+};
+
+//===----------------------------------------------------------------------===//
+// Basic delete success and failure
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionSafetyTest, DeleteSucceedsWithNoExternalRefs) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  rnew<Node>(R, 1);
+  EXPECT_TRUE(deleteRegion(R));
+  EXPECT_EQ(R.get(), nullptr) << "*x set to NULL on success";
+}
+
+TEST_F(RegionSafetyTest, DeleteFailsWhileLocalRefLives) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Ref<Node> Keep = rnew<Node>(R, 1);
+  EXPECT_FALSE(deleteRegion(R)) << "live local blocks deletion";
+  EXPECT_NE(R.get(), nullptr) << "*x unchanged on failure";
+  EXPECT_EQ(Keep->Value, 1) << "object still intact";
+  Keep = nullptr;
+  EXPECT_TRUE(deleteRegion(R)) << "clearing the stale local unblocks";
+}
+
+TEST_F(RegionSafetyTest, DeleteFailsWhileGlobalRefLives) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  GlobalNode = rnew<Node>(R, 7);
+  EXPECT_FALSE(deleteRegion(R));
+  GlobalNode = nullptr;
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, DeleteFailsWhileOtherRegionPointsIn) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  RegionHandle Other = Mgr.newRegion();
+  Node *Inner = rnew<Node>(R, 1);
+  Node *Holder = rnew<Node>(Other, 2);
+  Holder->Next = Inner; // cross-region reference, counted
+  EXPECT_EQ(R->referenceCount(), 1);
+  EXPECT_FALSE(deleteRegion(R));
+  Holder->Next = nullptr;
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(R));
+  EXPECT_TRUE(deleteRegion(Other));
+}
+
+TEST_F(RegionSafetyTest, DeletingOtherRegionReleasesItsRefs) {
+  // Destroying a region that holds pointers into R must decrement R's
+  // count via the cleanup scan (§4.2.4).
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  RegionHandle Other = Mgr.newRegion();
+  Node *Inner = rnew<Node>(R, 1);
+  rnew<Node>(Other, 2)->Next = Inner;
+  rnew<Node>(Other, 3)->Next = Inner;
+  EXPECT_EQ(R->referenceCount(), 2);
+  EXPECT_FALSE(deleteRegion(R));
+  EXPECT_TRUE(deleteRegion(Other));
+  EXPECT_EQ(R->referenceCount(), 0)
+      << "cleanup of Other released its references into R";
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Sameregion pointers and cycles
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionSafetyTest, SameRegionPointersNotCounted) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Node *A = rnew<Node>(R, 1);
+  Node *B = rnew<Node>(R, 2);
+  A->Next = B;
+  B->Next = A; // a cycle, entirely within R
+  EXPECT_EQ(R->referenceCount(), 0)
+      << "sameregion pointers are never counted (§4.2.2)";
+  EXPECT_TRUE(deleteRegion(R)) << "cycles within a region collect";
+}
+
+TEST_F(RegionSafetyTest, LongCycleWithinRegionCollects) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Node *First = rnew<Node>(R, 0);
+  Node *Prev = First;
+  for (int I = 1; I < 1000; ++I) {
+    Node *N = rnew<Node>(R, I);
+    Prev->Next = N;
+    Prev = N;
+  }
+  Prev->Next = First; // close the cycle
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, CrossRegionCycleNeedsBothDeletes) {
+  // A cycle spanning two regions: neither deletes first, matching the
+  // paper's caveat that only cycles within a single region are free.
+  Frame F;
+  RegionHandle R1 = Mgr.newRegion();
+  RegionHandle R2 = Mgr.newRegion();
+  Node *A = rnew<Node>(R1, 1);
+  Node *B = rnew<Node>(R2, 2);
+  A->Next = B;
+  B->Next = A;
+  EXPECT_FALSE(deleteRegion(R1));
+  EXPECT_FALSE(deleteRegion(R2));
+  // Breaking one edge lets deletion proceed in order.
+  A->Next = nullptr;
+  EXPECT_FALSE(deleteRegion(R1)) << "B still points to A";
+  EXPECT_TRUE(deleteRegion(R2))  << "nothing points into R2 anymore";
+  EXPECT_TRUE(deleteRegion(R1)) << "R2's cleanup released B->Next";
+}
+
+TEST_F(RegionSafetyTest, RebindingWithinRegionKeepsCountsExact) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  RegionHandle Other = Mgr.newRegion();
+  Node *X = rnew<Node>(R, 1);
+  Node *Y = rnew<Node>(R, 2);
+  Node *H = rnew<Node>(Other, 3);
+  H->Next = X;
+  EXPECT_EQ(R->referenceCount(), 1);
+  H->Next = Y; // same target region: count unchanged
+  EXPECT_EQ(R->referenceCount(), 1);
+  H->Next = nullptr;
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(R));
+  EXPECT_TRUE(deleteRegion(Other));
+}
+
+//===----------------------------------------------------------------------===//
+// The "excepting *x" rule for the deleted handle
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionSafetyTest, HandleItselfDoesNotBlockDeletion) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  // R is a live local pointing into the region (the Region struct lives
+  // in its first page) yet deletion must succeed: it is the *x handle.
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, SecondHandleBlocksDeletion) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  RegionHandle Alias = R.get();
+  EXPECT_FALSE(deleteRegion(R)) << "a second live handle is a reference";
+  Alias = nullptr;
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, HandleInCallerFrameBlocksUntilCallerClears) {
+  Frame Outer;
+  RegionHandle R = Mgr.newRegion();
+  Ref<Node> OuterRef = rnew<Node>(R, 5);
+  bool Deleted = false;
+  {
+    Frame Inner;
+    RegionHandle InnerAlias = R.get();
+    // Deleting through the inner alias: OuterRef (in a scanned frame)
+    // blocks it.
+    Deleted = deleteRegion(InnerAlias);
+    EXPECT_FALSE(Deleted);
+    EXPECT_EQ(R->referenceCount(), 2)
+        << "outer frame scanned: OuterRef and R's handle counted";
+  }
+  EXPECT_EQ(R->referenceCount(), 0) << "unscan restored";
+  OuterRef = nullptr;
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, GlobalHandleDeletion) {
+  static RegionPtr<Region> GlobalHandle;
+  GlobalHandle = Mgr.newRegion();
+  EXPECT_EQ(GlobalHandle->referenceCount(), 1) << "global handle counted";
+  EXPECT_TRUE(deleteRegion(GlobalHandle))
+      << "the counted handle is excepted from the check";
+  EXPECT_EQ(GlobalHandle.get(), nullptr);
+}
+
+TEST_F(RegionSafetyTest, GlobalHandleBlockedByOtherGlobal) {
+  static RegionPtr<Region> GlobalHandle;
+  GlobalHandle = Mgr.newRegion();
+  GlobalNode = rnew<Node>(GlobalHandle.get(), 1);
+  EXPECT_FALSE(deleteRegion(GlobalHandle));
+  GlobalNode = nullptr;
+  EXPECT_TRUE(deleteRegion(GlobalHandle));
+}
+
+//===----------------------------------------------------------------------===//
+// Reference-count bookkeeping details
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionSafetyTest, GlobalWriteBarrierCounts) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Node *N = rnew<Node>(R, 1);
+  EXPECT_EQ(R->referenceCount(), 0);
+  GlobalNode = N;
+  EXPECT_EQ(R->referenceCount(), 1);
+  GlobalNode = N; // idempotent rebinding
+  EXPECT_EQ(R->referenceCount(), 1);
+  GlobalNode = nullptr;
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, DestructorOfHeapPtrReleases) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Node *N = rnew<Node>(R, 1);
+  {
+    RegionPtr<Node> Holder(N); // e.g. a member of a malloc'd object
+    EXPECT_EQ(R->referenceCount(), 1);
+  }
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, BarrierStatsRecorded) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Node *A = rnew<Node>(R, 1);
+  Node *B = rnew<Node>(R, 2);
+  A->Next = B;           // sameregion store
+  GlobalNode = A;        // global store, counted
+  GlobalNode = nullptr;
+  const RegionStats &S = Mgr.stats();
+  EXPECT_GE(S.BarrierStores, 3u);
+  EXPECT_GE(S.BarrierSameRegion, 1u);
+  EXPECT_GE(S.BarrierAdjustments, 2u);
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, DeleteFailureStatsRecorded) {
+  Frame F;
+  RegionHandle R = Mgr.newRegion();
+  Ref<Node> Keep = rnew<Node>(R, 1);
+  EXPECT_FALSE(deleteRegion(R));
+  EXPECT_EQ(Mgr.stats().DeleteFailures, 1u);
+  EXPECT_EQ(Mgr.stats().DeleteAttempts, 1u);
+  Keep = nullptr;
+  EXPECT_TRUE(deleteRegion(R));
+  EXPECT_EQ(Mgr.stats().DeleteAttempts, 2u);
+  EXPECT_EQ(Mgr.stats().DeleteFailures, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interaction of deletion with the high-water mark
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionSafetyTest, FailedDeleteLeavesConsistentCounts) {
+  Frame Outer;
+  RegionHandle R = Mgr.newRegion();
+  Ref<Node> Keep = rnew<Node>(R, 1);
+  {
+    Frame Inner;
+    RegionHandle Alias = R.get();
+    EXPECT_FALSE(deleteRegion(Alias));
+    EXPECT_FALSE(deleteRegion(Alias)) << "repeat failure is stable";
+  }
+  Keep = nullptr;
+  EXPECT_TRUE(deleteRegion(R));
+}
+
+TEST_F(RegionSafetyTest, DeleteFromDeepCallChain) {
+  Frame F0;
+  RegionHandle R = Mgr.newRegion();
+  rnew<Node>(R, 1);
+  // Simulate a deep call chain with intermediate frames holding refs to
+  // *other* regions only.
+  RegionHandle Other = Mgr.newRegion();
+  {
+    Frame F1;
+    Ref<Node> L1 = rnew<Node>(Other, 2);
+    {
+      Frame F2;
+      Ref<Node> L2 = rnew<Node>(Other, 3);
+      RegionHandle Alias = R.get();
+      EXPECT_FALSE(deleteRegion(Alias))
+          << "R's own handle in scanned outer frame blocks the alias delete";
+    }
+  }
+  EXPECT_TRUE(deleteRegion(R)) << "deleting through the real handle works";
+  EXPECT_TRUE(deleteRegion(Other));
+}
+
+TEST_F(RegionSafetyTest, ManyRegionsIndependentCounts) {
+  Frame F;
+  constexpr int N = 50;
+  Region *Rs[N];
+  for (int I = 0; I < N; ++I)
+    Rs[I] = Mgr.newRegion();
+  // Chain: region I holds a pointer into region I+1.
+  for (int I = 0; I + 1 < N; ++I)
+    rnew<Node>(Rs[I], I)->Next = rnew<Node>(Rs[I + 1], I + 1);
+  for (int I = 1; I < N; ++I)
+    EXPECT_EQ(Rs[I]->referenceCount(), 1);
+  EXPECT_EQ(Rs[0]->referenceCount(), 0);
+  // Deleting head-first cascades legality down the chain.
+  for (int I = 0; I < N; ++I) {
+    EXPECT_TRUE(Mgr.deleteRegionRaw(Rs[I])) << "region " << I;
+    if (I + 1 < N) {
+      EXPECT_EQ(Rs[I + 1]->referenceCount(), 0);
+    }
+  }
+  EXPECT_EQ(Mgr.liveRegionCount(), 0u);
+}
+
+TEST_F(RegionSafetyTest, TailFirstDeletionBlockedUntilHeadDies) {
+  Frame F;
+  RegionHandle Head = Mgr.newRegion();
+  RegionHandle Tail = Mgr.newRegion();
+  rnew<Node>(Head, 1)->Next = rnew<Node>(Tail, 2);
+  EXPECT_FALSE(deleteRegion(Tail));
+  EXPECT_TRUE(deleteRegion(Head));
+  EXPECT_TRUE(deleteRegion(Tail));
+}
+
+//===----------------------------------------------------------------------===//
+// Unsafe mode: deleteregion is unconditional
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionSafetyTest, UnsafeDeleteIgnoresReferences) {
+  RegionManager Unsafe{SafetyConfig::unsafeConfig(), std::size_t{16} << 20};
+  Frame F;
+  Region *R = Unsafe.newRegion();
+  Ref<Node> Dangling = rnew<Node>(R, 1);
+  EXPECT_TRUE(Unsafe.deleteRegionRaw(R))
+      << "unsafe regions delete regardless of live references";
+  // Dangling now points to freed pages; regionOf sees nothing.
+  EXPECT_EQ(regionOf(Dangling.get()), nullptr);
+  Dangling = nullptr;
+}
+
+TEST_F(RegionSafetyTest, PaperListCopyExample) {
+  // Figure 3 of the paper: copy a list into a temporary region, use it,
+  // delete the region.
+  Frame F;
+  RegionHandle Perm = Mgr.newRegion();
+  // Build a 100-element list in Perm.
+  Ref<Node> Head;
+  for (int I = 99; I >= 0; --I) {
+    Node *N = rnew<Node>(Perm, I);
+    N->Next = Head.get();
+    Head = N;
+  }
+  {
+    Frame CopyScope;
+    RegionHandle Tmp = Mgr.newRegion();
+    // copy_list(tmp, l)
+    Ref<Node> CopyHead;
+    Ref<Node> CopyTail;
+    for (Node *N = Head.get(); N; N = N->Next.get()) {
+      Node *C = rnew<Node>(Tmp, N->Value);
+      if (!CopyHead)
+        CopyHead = C;
+      else
+        CopyTail->Next = C;
+      CopyTail = C;
+    }
+    // Check the copy.
+    int Expect = 0;
+    for (Node *N = CopyHead.get(); N; N = N->Next.get())
+      EXPECT_EQ(N->Value, Expect++);
+    EXPECT_EQ(Expect, 100);
+    CopyHead = nullptr;
+    CopyTail = nullptr;
+    EXPECT_TRUE(deleteRegion(Tmp));
+  }
+  // Original intact.
+  int Expect = 0;
+  for (Node *N = Head.get(); N; N = N->Next.get())
+    EXPECT_EQ(N->Value, Expect++);
+  Head = nullptr;
+  EXPECT_TRUE(deleteRegion(Perm));
+}
+
+} // namespace

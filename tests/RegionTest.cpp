@@ -1,0 +1,381 @@
+//===- tests/RegionTest.cpp - Region allocator tests ----------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Covers the §4.1 allocator: bump allocation, the normal/str split,
+// page management, regionOf, large objects, statistics and cleanup
+// (finalization) behaviour. Safety (reference-count) semantics are in
+// RegionSafetyTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+/// Non-trivially-destructible type that records destruction.
+struct Tracked {
+  explicit Tracked(int *Counter = nullptr) : Counter(Counter) {}
+  ~Tracked() {
+    if (Counter)
+      ++*Counter;
+  }
+  int *Counter;
+  int Payload[4] = {};
+};
+
+struct RegionTest : ::testing::Test {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+};
+
+TEST_F(RegionTest, NewRegionIsEmpty) {
+  Region *R = Mgr.newRegion();
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->allocCount(), 0u);
+  EXPECT_EQ(R->requestedBytes(), 0u);
+  EXPECT_EQ(R->referenceCount(), 0);
+  EXPECT_EQ(&R->manager(), &Mgr);
+}
+
+TEST_F(RegionTest, TrivialAllocationsComeFromStrAllocator) {
+  Region *R = Mgr.newRegion();
+  int *A = rnew<int>(R, 41);
+  int *B = rnew<int>(R, 42);
+  EXPECT_EQ(*A, 41);
+  EXPECT_EQ(*B, 42);
+  EXPECT_EQ(R->allocCount(), 2u);
+  EXPECT_EQ(R->requestedBytes(), 2 * sizeof(int));
+}
+
+TEST_F(RegionTest, AllocationsAreAligned) {
+  Region *R = Mgr.newRegion();
+  for (int I = 0; I < 50; ++I) {
+    void *P = Mgr.allocRaw(R, 1 + (I % 13));
+    EXPECT_TRUE(isAligned(P, kDefaultAlignment));
+    void *Q = Mgr.allocScanned(R, 1 + (I % 13), detail::scanThunk<Tracked>);
+    EXPECT_TRUE(isAligned(Q, kDefaultAlignment));
+  }
+}
+
+TEST_F(RegionTest, RegionOfResolvesAllocations) {
+  Region *R1 = Mgr.newRegion();
+  Region *R2 = Mgr.newRegion();
+  int *A = rnew<int>(R1, 1);
+  int *B = rnew<int>(R2, 2);
+  EXPECT_EQ(regionOf(A), R1);
+  EXPECT_EQ(regionOf(B), R2);
+  // Interior pointers resolve too.
+  auto *Arr = rnewArray<int>(R1, 100);
+  EXPECT_EQ(regionOf(Arr + 57), R1);
+}
+
+TEST_F(RegionTest, RegionOfRegionStructIsItself) {
+  Region *R = Mgr.newRegion();
+  EXPECT_EQ(regionOf(R), R);
+}
+
+TEST_F(RegionTest, RegionOfStackAndGlobalIsNull) {
+  int Local = 0;
+  static int Global = 0;
+  EXPECT_EQ(regionOf(&Local), nullptr);
+  EXPECT_EQ(regionOf(&Global), nullptr);
+  EXPECT_EQ(regionOf(nullptr), nullptr);
+}
+
+TEST_F(RegionTest, ScannedMemoryIsZeroed) {
+  // A do-nothing cleanup for raw 64-byte blobs we deliberately scribble.
+  ScanThunk BlobThunk = [](void *) -> std::size_t { return 64; };
+  Region *R = Mgr.newRegion();
+  // Fill pages, free the region, allocate again: recycled page content
+  // must still come back zeroed for scanned allocations.
+  for (int I = 0; I < 100; ++I) {
+    auto *P = static_cast<unsigned char *>(Mgr.allocScanned(R, 64, BlobThunk));
+    for (int J = 0; J < 64; ++J)
+      EXPECT_EQ(P[J], 0u);
+    std::memset(P, 0xee, 64);
+  }
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  Region *R2 = Mgr.newRegion();
+  for (int I = 0; I < 100; ++I) {
+    auto *P = static_cast<unsigned char *>(Mgr.allocScanned(R2, 64,
+                                                            BlobThunk));
+    for (int J = 0; J < 64; ++J)
+      EXPECT_EQ(P[J], 0u) << "recycled page leaked content";
+  }
+}
+
+TEST_F(RegionTest, ManySmallAllocationsSpanPages) {
+  Region *R = Mgr.newRegion();
+  std::set<std::uintptr_t> Pages;
+  for (int I = 0; I < 4000; ++I) {
+    void *P = rnew<long>(R, I);
+    Pages.insert(reinterpret_cast<std::uintptr_t>(P) >> kPageShift);
+  }
+  EXPECT_GT(Pages.size(), 4u) << "4000 longs cannot fit in four pages";
+  for (void *P : {static_cast<void *>(R)})
+    EXPECT_EQ(regionOf(P), R);
+}
+
+TEST_F(RegionTest, PageSlackIsWastedNotReused) {
+  // The paper: "If an object does not fit in the space remaining at the
+  // end of a page that space is wasted." Allocate two objects that
+  // cannot share a page and check they land on different pages.
+  Region *R = Mgr.newRegion();
+  void *A = Mgr.allocRaw(R, 3000);
+  void *B = Mgr.allocRaw(R, 3000);
+  EXPECT_NE(reinterpret_cast<std::uintptr_t>(A) >> kPageShift,
+            reinterpret_cast<std::uintptr_t>(B) >> kPageShift);
+}
+
+TEST_F(RegionTest, DeleteReturnsPagesForReuse) {
+  Region *R = Mgr.newRegion();
+  for (int I = 0; I < 1000; ++I)
+    rnew<long>(R, I);
+  std::size_t Os = Mgr.osBytes();
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(R, nullptr);
+  Region *R2 = Mgr.newRegion();
+  for (int I = 0; I < 1000; ++I)
+    rnew<long>(R2, I);
+  EXPECT_EQ(Mgr.osBytes(), Os) << "second region must reuse freed pages";
+}
+
+TEST_F(RegionTest, RegionOfFreedPagesIsNull) {
+  Region *R = Mgr.newRegion();
+  int *A = rnew<int>(R, 7);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(regionOf(A), nullptr);
+}
+
+TEST_F(RegionTest, CacheOffsetsCycle) {
+  // §4.1: successive regions are offset by 64 bytes in their first
+  // page, up to 512, to avoid cache conflicts between region structs.
+  std::vector<Region *> Regions;
+  std::set<std::uintptr_t> OffsetsSeen;
+  for (int I = 0; I < 9; ++I) {
+    Region *R = Mgr.newRegion();
+    Regions.push_back(R);
+    OffsetsSeen.insert(reinterpret_cast<std::uintptr_t>(R) & (kPageSize - 1));
+  }
+  EXPECT_EQ(OffsetsSeen.size(), 9u) << "nine distinct 64-byte offsets";
+  for (std::uintptr_t Off : OffsetsSeen)
+    EXPECT_EQ((Off - *OffsetsSeen.begin()) % 64, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, TrivialArrayIsZeroInitialized) {
+  Region *R = Mgr.newRegion();
+  int *A = rnewArray<int>(R, 256);
+  for (int I = 0; I < 256; ++I)
+    EXPECT_EQ(A[I], 0);
+}
+
+TEST_F(RegionTest, NonTrivialArrayRunsAllDestructors) {
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  Tracked *A = rnewArray<Tracked>(R, 37);
+  for (int I = 0; I < 37; ++I)
+    A[I].Counter = &Count;
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 37);
+}
+
+TEST_F(RegionTest, EmptyArrayIsValid) {
+  Region *R = Mgr.newRegion();
+  int *A = rnewArray<int>(R, 0);
+  EXPECT_NE(A, nullptr);
+  Tracked *B = rnewArray<Tracked>(R, 0);
+  EXPECT_NE(B, nullptr);
+  EXPECT_TRUE(Mgr.deleteRegionRaw(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Strings
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, StrdupCopies) {
+  Region *R = Mgr.newRegion();
+  const char *Src = "hello regions";
+  char *Copy = rstrdup(R, Src);
+  EXPECT_STREQ(Copy, Src);
+  EXPECT_NE(Copy, Src);
+  EXPECT_EQ(regionOf(Copy), R);
+}
+
+TEST_F(RegionTest, StrndupTruncatesAndTerminates) {
+  Region *R = Mgr.newRegion();
+  char *Copy = rstrndup(R, "abcdef", 3);
+  EXPECT_STREQ(Copy, "abc");
+}
+
+//===----------------------------------------------------------------------===//
+// Large objects (extension past the paper's one-page prototype limit)
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, LargeRawAllocation) {
+  Region *R = Mgr.newRegion();
+  std::size_t Size = 3 * kPageSize + 100;
+  auto *P = static_cast<char *>(Mgr.allocRaw(R, Size));
+  std::memset(P, 0x5a, Size);
+  EXPECT_EQ(regionOf(P), R);
+  EXPECT_EQ(regionOf(P + Size - 1), R);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+}
+
+TEST_F(RegionTest, LargeScannedAllocationRunsCleanup) {
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  // An object bigger than a page with a destructor.
+  struct Big {
+    ~Big() {
+      if (Counter)
+        ++*Counter;
+    }
+    int *Counter = nullptr;
+    char Bulk[2 * kPageSize];
+  };
+  auto *B = rnew<Big>(R);
+  B->Counter = &Count;
+  EXPECT_EQ(regionOf(B), R);
+  EXPECT_EQ(regionOf(B->Bulk + sizeof(B->Bulk) - 1), R);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 1);
+}
+
+TEST_F(RegionTest, LargeTrivialArray) {
+  Region *R = Mgr.newRegion();
+  std::size_t N = 10000;
+  auto *A = rnewArray<std::uint64_t>(R, N);
+  for (std::size_t I = 0; I < N; ++I)
+    A[I] = I;
+  for (std::size_t I = 0; I < N; ++I)
+    ASSERT_EQ(A[I], I);
+  EXPECT_EQ(regionOf(A + N - 1), R);
+}
+
+TEST_F(RegionTest, LargePagesFreedOnDelete) {
+  Region *R = Mgr.newRegion();
+  Mgr.allocRaw(R, 10 * kPageSize);
+  Mgr.allocRaw(R, 10 * kPageSize);
+  std::size_t Os = Mgr.osBytes();
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  Region *R2 = Mgr.newRegion();
+  Mgr.allocRaw(R2, 10 * kPageSize);
+  Mgr.allocRaw(R2, 10 * kPageSize);
+  EXPECT_LE(Mgr.osBytes(), Os + 2 * kPageSize)
+      << "large runs must be recycled";
+}
+
+//===----------------------------------------------------------------------===//
+// Cleanup / finalization
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, CleanupRunsExactlyOncePerObject) {
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  for (int I = 0; I < 500; ++I)
+    rnew<Tracked>(R, &Count);
+  EXPECT_EQ(Count, 0) << "no finalization before deletion";
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 500);
+}
+
+TEST_F(RegionTest, CleanupSkippedWhenDisabled) {
+  RegionManager Unsafe{SafetyConfig::unsafeConfig(), std::size_t{16} << 20};
+  Region *R = Unsafe.newRegion();
+  int Count = 0;
+  rnew<Tracked>(R, &Count);
+  ASSERT_TRUE(Unsafe.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 0) << "unsafe regions do not scan on delete";
+}
+
+TEST_F(RegionTest, MixedAllocatorsCleanupOnlyScanned) {
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  for (int I = 0; I < 64; ++I) {
+    rnew<Tracked>(R, &Count); // scanned
+    rnew<std::uint64_t>(R, 0); // str side, no cleanup
+    rstrdup(R, "some string data");
+  }
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 64);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, StatsCountAllocations) {
+  Region *R = Mgr.newRegion();
+  rnew<int>(R, 1);
+  rnewArray<int>(R, 10);
+  rstrdup(R, "abc");
+  const RegionStats &S = Mgr.stats();
+  EXPECT_EQ(S.TotalAllocs, 3u);
+  EXPECT_EQ(S.TotalRequestedBytes, sizeof(int) + 10 * sizeof(int) + 4);
+}
+
+TEST_F(RegionTest, StatsTrackRegionLifecycle) {
+  Region *A = Mgr.newRegion();
+  Region *B = Mgr.newRegion();
+  EXPECT_EQ(Mgr.stats().LiveRegions, 2u);
+  EXPECT_EQ(Mgr.stats().MaxLiveRegions, 2u);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(A));
+  EXPECT_EQ(Mgr.stats().LiveRegions, 1u);
+  EXPECT_EQ(Mgr.stats().MaxLiveRegions, 2u);
+  EXPECT_EQ(Mgr.stats().TotalRegions, 2u);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(B));
+  EXPECT_EQ(Mgr.liveRegionCount(), 0u);
+}
+
+TEST_F(RegionTest, StatsTrackLiveBytesHighWater) {
+  Region *A = Mgr.newRegion();
+  rnewArray<char>(A, 10000);
+  EXPECT_EQ(Mgr.stats().LiveRequestedBytes, 10000u);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(A));
+  EXPECT_EQ(Mgr.stats().LiveRequestedBytes, 0u);
+  EXPECT_EQ(Mgr.stats().MaxLiveRequestedBytes, 10000u);
+}
+
+TEST_F(RegionTest, StatsTrackMaxRegionBytes) {
+  Region *A = Mgr.newRegion();
+  Region *B = Mgr.newRegion();
+  rnewArray<char>(A, 100);
+  rnewArray<char>(B, 5000);
+  EXPECT_EQ(Mgr.stats().MaxRegionBytes, 5000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Manager isolation
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, TwoManagersAreIndependent) {
+  RegionManager Other{SafetyConfig::safeConfig(), std::size_t{16} << 20};
+  Region *A = Mgr.newRegion();
+  Region *B = Other.newRegion();
+  int *PA = rnew<int>(A, 1);
+  int *PB = rnew<int>(B, 2);
+  EXPECT_EQ(regionOf(PA), A);
+  EXPECT_EQ(regionOf(PB), B);
+  EXPECT_EQ(&A->manager(), &Mgr);
+  EXPECT_EQ(&B->manager(), &Other);
+}
+
+TEST_F(RegionTest, DeleteRegionRawNullsHandle) {
+  Region *R = Mgr.newRegion();
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(R, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/RuntimeStackTest.cpp - Shadow stack tests --------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Exercises the §4.2.1/§4.2.3 deferred-counting machinery in isolation:
+// the high-water mark, frame scan on deleteRegion, unscan on return,
+// invariant (*), and the scanned-frame write path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using rt::Frame;
+using rt::Ref;
+using rt::RuntimeStack;
+
+namespace {
+
+struct RuntimeStackTest : ::testing::Test {
+  void SetUp() override {
+    ASSERT_EQ(RuntimeStack::current().frameCount(), 0u)
+        << "leaked frames from a previous test";
+    ASSERT_EQ(RuntimeStack::current().slotCount(), 0u);
+  }
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+};
+
+TEST_F(RuntimeStackTest, FramePushPop) {
+  auto &S = RuntimeStack::current();
+  {
+    Frame F1;
+    EXPECT_EQ(S.frameCount(), 1u);
+    {
+      Frame F2;
+      EXPECT_EQ(S.frameCount(), 2u);
+    }
+    EXPECT_EQ(S.frameCount(), 1u);
+  }
+  EXPECT_EQ(S.frameCount(), 0u);
+}
+
+TEST_F(RuntimeStackTest, RefRegistersAndUnregisters) {
+  auto &S = RuntimeStack::current();
+  Frame F;
+  {
+    Ref<int> A;
+    Ref<int> B;
+    EXPECT_EQ(S.slotCount(), 2u);
+  }
+  EXPECT_EQ(S.slotCount(), 0u);
+}
+
+TEST_F(RuntimeStackTest, RefWithoutFrameCreatesBaseFrame) {
+  auto &S = RuntimeStack::current();
+  {
+    Ref<int> A;
+    EXPECT_EQ(S.frameCount(), 1u) << "implicit base frame";
+    EXPECT_EQ(S.slotCount(), 1u);
+  }
+  // The base frame stays; it is harmless and never scanned while top.
+  EXPECT_EQ(S.slotCount(), 0u);
+  S.resetForTesting();
+}
+
+TEST_F(RuntimeStackTest, LocalWritesDoNotTouchCounts) {
+  Frame F;
+  Region *R = Mgr.newRegion();
+  Ref<int> A;
+  A = rnew<int>(R, 1);
+  A = rnew<int>(R, 2);
+  A = nullptr;
+  A = rnew<int>(R, 3);
+  EXPECT_EQ(R->referenceCount(), 0)
+      << "writes to locals are deferred (invariant (*))";
+}
+
+TEST_F(RuntimeStackTest, ScanCountsFramesBelowTop) {
+  Frame Outer;
+  Region *R = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R, 1);
+  Ref<int> B = rnew<int>(R, 2);
+  {
+    Frame Inner; // takes the role of deleteRegion's caller
+    Ref<int> C = rnew<int>(R, 3);
+    RuntimeStack::current().scanForDelete();
+    // Outer frame scanned (A, B counted); Inner is top, not counted.
+    EXPECT_EQ(R->referenceCount(), 2);
+    EXPECT_EQ(RuntimeStack::current().scannedFrameCount(), 1u);
+    // Returning from Inner unscans nothing (Outer..? Outer is index 0,
+    // Hwm is 1; pop leaves Hwm == frameCount == 1 -> unscan Outer).
+  }
+  EXPECT_EQ(R->referenceCount(), 0) << "unscan on return restored counts";
+  EXPECT_EQ(RuntimeStack::current().scannedFrameCount(), 0u);
+}
+
+TEST_F(RuntimeStackTest, UnscanHappensOneFrameAtATime) {
+  Frame F0;
+  Region *R = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R, 0);
+  {
+    Frame F1;
+    Ref<int> B = rnew<int>(R, 1);
+    {
+      Frame F2;
+      Ref<int> C = rnew<int>(R, 2);
+      {
+        Frame F3; // top; stays unscanned
+        RuntimeStack::current().scanForDelete();
+        EXPECT_EQ(R->referenceCount(), 3) << "A, B, C counted";
+        EXPECT_EQ(RuntimeStack::current().scannedFrameCount(), 3u);
+      }
+      // F3 popped; F2 was scanned -> unscan F2 only.
+      EXPECT_EQ(R->referenceCount(), 2);
+      EXPECT_EQ(RuntimeStack::current().scannedFrameCount(), 2u);
+    }
+    EXPECT_EQ(R->referenceCount(), 1);
+  }
+  EXPECT_EQ(R->referenceCount(), 0);
+}
+
+TEST_F(RuntimeStackTest, RepeatedScansDoNotDoubleCount) {
+  Frame Outer;
+  Region *R = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R, 1);
+  {
+    Frame Inner;
+    RuntimeStack::current().scanForDelete();
+    EXPECT_EQ(R->referenceCount(), 1);
+    RuntimeStack::current().scanForDelete();
+    EXPECT_EQ(R->referenceCount(), 1) << "already-scanned frames skipped";
+  }
+  EXPECT_EQ(R->referenceCount(), 0);
+}
+
+TEST_F(RuntimeStackTest, InvariantTopFrameNeverScanned) {
+  Frame Only;
+  Region *R = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R, 1);
+  RuntimeStack::current().scanForDelete();
+  // With a single frame there is nothing to scan: the executing frame
+  // must stay unscanned (invariant (*)).
+  EXPECT_EQ(RuntimeStack::current().scannedFrameCount(), 0u);
+  EXPECT_EQ(R->referenceCount(), 0);
+}
+
+TEST_F(RuntimeStackTest, ScannedFrameWriteAdjustsCounts) {
+  // Writing a caller's local through a reference while the caller's
+  // frame is scanned must keep counts exact (§4.2.2's runtime check for
+  // statically ambiguous writes).
+  Frame Outer;
+  Region *R1 = Mgr.newRegion();
+  Region *R2 = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R1, 1);
+  {
+    Frame Inner;
+    RuntimeStack::current().scanForDelete(); // Outer now scanned
+    EXPECT_EQ(R1->referenceCount(), 1);
+    A = rnew<int>(R2, 2); // write to scanned-frame local
+    EXPECT_EQ(R1->referenceCount(), 0);
+    EXPECT_EQ(R2->referenceCount(), 1);
+  }
+  EXPECT_EQ(R2->referenceCount(), 0);
+  EXPECT_GE(RuntimeStack::current().counters().ScannedFrameWrites, 1u);
+}
+
+TEST_F(RuntimeStackTest, NullAndForeignPointersIgnoredByScan) {
+  Frame Outer;
+  int StackInt = 5;
+  Ref<int> A; // null
+  Ref<int> B = &StackInt; // not in any region
+  {
+    Frame Inner;
+    RuntimeStack::current().scanForDelete();
+  }
+  SUCCEED() << "scanning nulls and non-region pointers is a no-op";
+}
+
+TEST_F(RuntimeStackTest, LocateClassifiesSlots) {
+  auto &S = RuntimeStack::current();
+  Frame Outer;
+  Ref<int> A;
+  {
+    Frame Inner;
+    Ref<int> B;
+    S.scanForDelete();
+    EXPECT_EQ(S.locate(reinterpret_cast<void *const *>(A.slotAddress())),
+              RuntimeStack::SlotLocation::Scanned);
+    EXPECT_EQ(S.locate(reinterpret_cast<void *const *>(B.slotAddress())),
+              RuntimeStack::SlotLocation::Unscanned);
+    void *NotASlot = nullptr;
+    EXPECT_EQ(S.locate(&NotASlot), RuntimeStack::SlotLocation::NotRegistered);
+  }
+}
+
+TEST_F(RuntimeStackTest, CountTopFrameRefs) {
+  auto &S = RuntimeStack::current();
+  Frame Outer;
+  Region *R = Mgr.newRegion();
+  Region *Other = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R, 1);
+  Ref<int> B = rnew<int>(R, 2);
+  Ref<int> C = rnew<int>(Other, 3);
+  EXPECT_EQ(S.countTopFrameRefsTo(R, nullptr), 2u);
+  EXPECT_EQ(S.countTopFrameRefsTo(R,
+                                  reinterpret_cast<void *const *>(
+                                      A.slotAddress())),
+            1u)
+      << "excluded slot not counted";
+  EXPECT_EQ(S.countTopFrameRefsTo(Other, nullptr), 1u);
+}
+
+TEST_F(RuntimeStackTest, RefCopySemantics) {
+  Frame F;
+  Region *R = Mgr.newRegion();
+  Ref<int> A = rnew<int>(R, 42);
+  Ref<int> B = A;
+  EXPECT_EQ(*B, 42);
+  EXPECT_EQ(A.get(), B.get());
+  B = nullptr;
+  EXPECT_NE(A.get(), nullptr);
+}
+
+TEST_F(RuntimeStackTest, UnsafeManagerRegionsNotCounted) {
+  RegionManager Unsafe{SafetyConfig::unsafeConfig(), std::size_t{16} << 20};
+  Frame Outer;
+  Region *R = Unsafe.newRegion();
+  Ref<int> A = rnew<int>(R, 1);
+  {
+    Frame Inner;
+    RuntimeStack::current().scanForDelete();
+    EXPECT_EQ(R->referenceCount(), 0)
+        << "StackScan disabled: scan skips this manager's regions";
+  }
+}
+
+TEST_F(RuntimeStackTest, MixedManagersOnOneStack) {
+  RegionManager Unsafe{SafetyConfig::unsafeConfig(), std::size_t{16} << 20};
+  Frame Outer;
+  Region *SafeR = Mgr.newRegion();
+  Region *UnsafeR = Unsafe.newRegion();
+  Ref<int> A = rnew<int>(SafeR, 1);
+  Ref<int> B = rnew<int>(UnsafeR, 2);
+  {
+    Frame Inner;
+    RuntimeStack::current().scanForDelete();
+    EXPECT_EQ(SafeR->referenceCount(), 1);
+    EXPECT_EQ(UnsafeR->referenceCount(), 0);
+  }
+  EXPECT_EQ(SafeR->referenceCount(), 0);
+}
+
+TEST_F(RuntimeStackTest, CountersAdvance) {
+  auto &S = RuntimeStack::current();
+  auto Before = S.counters();
+  Frame Outer;
+  Ref<int> A;
+  {
+    Frame Inner;
+    S.scanForDelete();
+  }
+  auto After = S.counters();
+  EXPECT_GT(After.Scans, Before.Scans);
+  EXPECT_GT(After.FramesScanned, Before.FramesScanned);
+  EXPECT_GT(After.FramesUnscanned, Before.FramesUnscanned);
+}
+
+} // namespace

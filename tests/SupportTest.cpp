@@ -1,0 +1,275 @@
+//===- tests/SupportTest.cpp - Support utilities tests --------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Align.h"
+#include "support/PageSource.h"
+#include "support/Prng.h"
+#include "support/Stopwatch.h"
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace regions;
+
+//===----------------------------------------------------------------------===//
+// Align
+//===----------------------------------------------------------------------===//
+
+TEST(AlignTest, AlignToRoundsUp) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 8), 16u);
+  EXPECT_EQ(alignTo(4095, 4096), 4096u);
+  EXPECT_EQ(alignTo(4097, 4096), 8192u);
+}
+
+TEST(AlignTest, AlignDownRoundsDown) {
+  EXPECT_EQ(alignDown(0, 8), 0u);
+  EXPECT_EQ(alignDown(7, 8), 0u);
+  EXPECT_EQ(alignDown(8, 8), 8u);
+  EXPECT_EQ(alignDown(4097, 4096), 4096u);
+}
+
+TEST(AlignTest, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(4096));
+  EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(AlignTest, NextPowerOf2) {
+  EXPECT_EQ(nextPowerOf2(1), 1u);
+  EXPECT_EQ(nextPowerOf2(3), 4u);
+  EXPECT_EQ(nextPowerOf2(16), 16u);
+  EXPECT_EQ(nextPowerOf2(17), 32u);
+}
+
+TEST(AlignTest, Log2OfPow2) {
+  EXPECT_EQ(log2OfPow2(1), 0u);
+  EXPECT_EQ(log2OfPow2(2), 1u);
+  EXPECT_EQ(log2OfPow2(4096), 12u);
+}
+
+TEST(AlignTest, IsAlignedChecksPointers) {
+  alignas(16) char Buf[32];
+  EXPECT_TRUE(isAligned(Buf, 8));
+  EXPECT_FALSE(isAligned(Buf + 1, 8));
+  EXPECT_TRUE(isAligned(Buf + 8, 8));
+}
+
+//===----------------------------------------------------------------------===//
+// Prng
+//===----------------------------------------------------------------------===//
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(PrngTest, NextBelowInRange) {
+  Prng P(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(P.nextBelow(17), 17u);
+}
+
+TEST(PrngTest, NextInRangeInclusive) {
+  Prng P(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    std::uint64_t V = P.nextInRange(3, 6);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 6u);
+    SawLo |= V == 3;
+    SawHi |= V == 6;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng P(9);
+  for (int I = 0; I < 1000; ++I) {
+    double D = P.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(PrngTest, SkewedFavorsSmall) {
+  Prng P(11);
+  int Small = 0;
+  for (int I = 0; I < 10000; ++I)
+    Small += P.nextSkewed(0, 1000) < 200;
+  // Cubing the uniform puts ~58% of mass below 0.2*max.
+  EXPECT_GT(Small, 5000);
+}
+
+TEST(PrngTest, ReseedResets) {
+  Prng P(5);
+  std::uint64_t First = P.next();
+  P.next();
+  P.reseed(5);
+  EXPECT_EQ(P.next(), First);
+}
+
+//===----------------------------------------------------------------------===//
+// PageSource
+//===----------------------------------------------------------------------===//
+
+TEST(PageSourceTest, AllocatesAlignedDistinctPages) {
+  PageSource S(1 << 20);
+  void *A = S.allocPages(1);
+  void *B = S.allocPages(1);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(isAligned(A, kPageSize));
+  EXPECT_TRUE(isAligned(B, kPageSize));
+}
+
+TEST(PageSourceTest, PagesAreWritable) {
+  PageSource S(1 << 20);
+  auto *P = static_cast<char *>(S.allocPages(2));
+  std::memset(P, 0xab, 2 * kPageSize);
+  EXPECT_EQ(P[0], static_cast<char>(0xab));
+  EXPECT_EQ(P[2 * kPageSize - 1], static_cast<char>(0xab));
+}
+
+TEST(PageSourceTest, ReusesFreedPagesBeforeGrowing) {
+  PageSource S(1 << 20);
+  void *A = S.allocPages(1);
+  std::size_t Os = S.osBytes();
+  S.freePages(A, 1);
+  void *B = S.allocPages(1);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(S.osBytes(), Os) << "reuse must not grow the OS footprint";
+}
+
+TEST(PageSourceTest, OsBytesIsHighWaterMark) {
+  PageSource S(1 << 20);
+  void *A = S.allocPages(4);
+  EXPECT_EQ(S.osBytes(), 4 * kPageSize);
+  S.freePages(A, 4);
+  EXPECT_EQ(S.osBytes(), 4 * kPageSize) << "freeing never shrinks OS bytes";
+  EXPECT_EQ(S.inUseBytes(), 0u);
+}
+
+TEST(PageSourceTest, LargeRunSplitFirstFit) {
+  PageSource S(1 << 22);
+  void *Big = S.allocPages(64);
+  S.freePages(Big, 64);
+  // A smaller request should be carved from the freed run.
+  void *Small = S.allocPages(20);
+  EXPECT_EQ(Small, Big);
+  std::size_t Before = S.osBytes();
+  void *Rest = S.allocPages(44);
+  EXPECT_EQ(S.osBytes(), Before) << "remainder must satisfy the second request";
+  EXPECT_EQ(static_cast<char *>(Rest),
+            static_cast<char *>(Big) + 20 * kPageSize);
+}
+
+TEST(PageSourceTest, ContainsAndPageIndex) {
+  PageSource S(1 << 20);
+  auto *P = static_cast<char *>(S.allocPages(2));
+  EXPECT_TRUE(S.contains(P));
+  EXPECT_TRUE(S.contains(P + kPageSize + 100));
+  EXPECT_EQ(S.pageIndex(P) + 1, S.pageIndex(P + kPageSize));
+  int Local;
+  EXPECT_FALSE(S.contains(&Local));
+}
+
+TEST(PageSourceTest, InUseTracksAllocationsAndFrees) {
+  PageSource S(1 << 20);
+  void *A = S.allocPages(3);
+  void *B = S.allocPages(2);
+  EXPECT_EQ(S.inUseBytes(), 5 * kPageSize);
+  S.freePages(A, 3);
+  EXPECT_EQ(S.inUseBytes(), 2 * kPageSize);
+  S.freePages(B, 2);
+  EXPECT_EQ(S.inUseBytes(), 0u);
+}
+
+TEST(PageSourceTest, ManyAllocFreeCyclesStayBounded) {
+  PageSource S(1 << 22);
+  for (int I = 0; I < 1000; ++I) {
+    void *P = S.allocPages(1 + (I % 4));
+    S.freePages(P, 1 + (I % 4));
+  }
+  EXPECT_LE(S.osBytes(), 16 * kPageSize);
+}
+
+//===----------------------------------------------------------------------===//
+// Stopwatch
+//===----------------------------------------------------------------------===//
+
+TEST(StopwatchTest, AccumulatesTime) {
+  Stopwatch W;
+  W.start();
+  W.stop();
+  std::uint64_t First = W.nanos();
+  W.start();
+  W.stop();
+  EXPECT_GE(W.nanos(), First);
+}
+
+TEST(StopwatchTest, ResetClears) {
+  Stopwatch W;
+  W.start();
+  W.stop();
+  W.reset();
+  EXPECT_EQ(W.nanos(), 0u);
+}
+
+TEST(StopwatchTest, MonotonicNanosAdvances) {
+  std::uint64_t A = monotonicNanos();
+  std::uint64_t B = monotonicNanos();
+  EXPECT_LE(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// TableWriter
+//===----------------------------------------------------------------------===//
+
+TEST(TableWriterTest, FormatHelpers) {
+  EXPECT_EQ(TableWriter::fmt(std::uint64_t{1234}), "1234");
+  EXPECT_EQ(TableWriter::fmt(1.5, 2), "1.50");
+  EXPECT_EQ(TableWriter::fmtKb(2048), "2.0");
+  EXPECT_EQ(TableWriter::fmtPercentOf(110.0, 100.0), "+10.0%");
+  EXPECT_EQ(TableWriter::fmtPercentOf(90.0, 100.0), "-10.0%");
+  EXPECT_EQ(TableWriter::fmtPercentOf(1.0, 0.0), "n/a");
+}
+
+TEST(TableWriterTest, PrintsAlignedRows) {
+  TableWriter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  // Smoke test: printing to a memstream must not crash and must include
+  // all cells.
+  char *Buf = nullptr;
+  std::size_t Len = 0;
+  std::FILE *F = open_memstream(&Buf, &Len);
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::fclose(F);
+  std::string Out(Buf, Len);
+  free(Buf);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  EXPECT_NE(Out.find("22"), std::string::npos);
+}

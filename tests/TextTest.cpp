@@ -1,0 +1,151 @@
+//===- tests/TextTest.cpp - Text substrate tests --------------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "text/TextGen.h"
+#include "text/Tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+using namespace regions;
+using namespace regions::text;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// makeWord / generators
+//===----------------------------------------------------------------------===//
+
+TEST(TextGenTest, MakeWordIsDeterministicAndDistinct) {
+  EXPECT_EQ(makeWord(0), makeWord(0));
+  std::set<std::string> Words;
+  for (std::uint64_t I = 0; I != 2000; ++I)
+    Words.insert(makeWord(I));
+  EXPECT_EQ(Words.size(), 2000u) << "word ids must map to distinct words";
+  for (char C : makeWord(123456))
+    EXPECT_TRUE(C >= 'a' && C <= 'z');
+}
+
+TEST(TextGenTest, TopicalTextHasStructure) {
+  TopicalTextOptions Opt;
+  Opt.Seed = 42;
+  TopicalText T = generateTopicalText(Opt);
+  EXPECT_FALSE(T.Text.empty());
+  EXPECT_EQ(T.TrueBoundaries.size(), Opt.NumSegments - 1);
+  // Boundaries are increasing sentence indices.
+  for (std::size_t I = 1; I < T.TrueBoundaries.size(); ++I)
+    EXPECT_LT(T.TrueBoundaries[I - 1], T.TrueBoundaries[I]);
+  // Deterministic per seed.
+  EXPECT_EQ(generateTopicalText(Opt).Text, T.Text);
+  Opt.Seed = 43;
+  EXPECT_NE(generateTopicalText(Opt).Text, T.Text);
+}
+
+TEST(TextGenTest, SubmissionsShareOnlyPoolFragments) {
+  SubmissionOptions Opt;
+  Opt.Seed = 9;
+  Opt.PlagiarismRate = 0.0; // no pool fragments at all
+  SubmissionCorpus C = generateSubmissions(4, Opt);
+  ASSERT_EQ(C.Documents.size(), 4u);
+  for (unsigned Used : C.PoolFragmentsUsed)
+    EXPECT_EQ(Used, 0u);
+  // With rate 1.0 every fragment comes from the pool.
+  Opt.PlagiarismRate = 1.0;
+  SubmissionCorpus C2 = generateSubmissions(4, Opt);
+  for (unsigned Used : C2.PoolFragmentsUsed)
+    EXPECT_EQ(Used, Opt.FragmentsPerDoc);
+}
+
+//===----------------------------------------------------------------------===//
+// Tokenizer
+//===----------------------------------------------------------------------===//
+
+TEST(TokenizerTest, SplitsWordsAndSentences) {
+  const char *Text = "hello world. foo bar baz. qux";
+  Tokenizer Tok(Text, Text + strlen(Text));
+  WordSpan W;
+  std::vector<std::string> Words;
+  std::vector<bool> Ends;
+  while (Tok.next(W)) {
+    Words.emplace_back(W.Start, W.Len);
+    Ends.push_back(W.EndsSentence);
+  }
+  ASSERT_EQ(Words.size(), 6u);
+  EXPECT_EQ(Words[0], "hello");
+  EXPECT_EQ(Words[1], "world");
+  EXPECT_EQ(Words[5], "qux");
+  EXPECT_FALSE(Ends[0]);
+  EXPECT_TRUE(Ends[1]) << "\"world\" ends the first sentence";
+  EXPECT_TRUE(Ends[4]);
+  EXPECT_FALSE(Ends[5]);
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  const char *Empty = "";
+  Tokenizer T1(Empty, Empty);
+  WordSpan W;
+  EXPECT_FALSE(T1.next(W));
+  const char *Punct = " .,.; ";
+  Tokenizer T2(Punct, Punct + strlen(Punct));
+  EXPECT_FALSE(T2.next(W));
+}
+
+TEST(TokenizerTest, HashWordConsistent) {
+  EXPECT_EQ(hashWord("abc", 3), hashWord("abc", 3));
+  EXPECT_NE(hashWord("abc", 3), hashWord("abd", 3));
+  EXPECT_NE(hashWord("abc", 3), hashWord("abc", 2));
+}
+
+//===----------------------------------------------------------------------===//
+// RollingHash (winnowing substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(RollingHashTest, MatchesDirectComputation) {
+  const char *Text = "the quick brown fox jumps over the lazy dog";
+  std::size_t Len = strlen(Text);
+  constexpr unsigned K = 5;
+  RollingHash RH(Text, Len, K);
+  ASSERT_TRUE(RH.valid());
+  for (std::size_t Pos = 0; Pos + K <= Len; ++Pos) {
+    // Direct polynomial evaluation of the same k-gram.
+    std::uint64_t Direct = 0;
+    for (unsigned I = 0; I != K; ++I)
+      Direct = Direct * 1099511628211ULL +
+               static_cast<unsigned char>(Text[Pos + I]);
+    ASSERT_EQ(RH.hash(), Direct) << "position " << Pos;
+    ASSERT_EQ(RH.position(), Pos);
+    if (Pos + K < Len) {
+      ASSERT_TRUE(RH.advance());
+    }
+  }
+  EXPECT_FALSE(RH.advance()) << "no k-gram past the end";
+}
+
+TEST(RollingHashTest, IdenticalSubstringsHashEqually) {
+  const char *Text = "abcdefgh--abcdefgh";
+  RollingHash A(Text, 8, 8);
+  RollingHash B(Text + 10, 8, 8);
+  ASSERT_TRUE(A.valid());
+  ASSERT_TRUE(B.valid());
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST(RollingHashTest, TooShortTextIsInvalid) {
+  RollingHash RH("ab", 2, 5);
+  EXPECT_FALSE(RH.valid());
+}
+
+TEST(RollingHashTest, SingleGramText) {
+  RollingHash RH("abcde", 5, 5);
+  ASSERT_TRUE(RH.valid());
+  EXPECT_EQ(RH.position(), 0u);
+  EXPECT_FALSE(RH.advance());
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- tests/WorkloadQualityTest.cpp - Semantic quality of workloads ------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// The workloads are real algorithms, not trace replays — these tests
+// verify they actually do their jobs: cfrac finds the true factors,
+// Buchberger produces a closed basis, TextTiling's boundaries land
+// near the generator's ground truth, and winnowing ranks genuinely
+// plagiarized document pairs above clean ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/LeaAllocator.h"
+#include "backend/Models.h"
+#include "poly/Poly.h"
+#include "text/TextGen.h"
+#include "workloads/Cfrac.h"
+#include "workloads/Grobner.h"
+#include "workloads/Moss.h"
+#include "workloads/Tile.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using namespace regions::workloads;
+
+namespace {
+
+struct WorkloadQualityTest : ::testing::Test {
+  LeaAllocator A{std::size_t{1} << 28};
+  DirectModel Mem{A};
+};
+
+//===----------------------------------------------------------------------===//
+// cfrac: the factors must be the actual prime factors
+//===----------------------------------------------------------------------===//
+
+TEST_F(WorkloadQualityTest, CfracFindsTruePrimeFactor) {
+  CfracOptions Opt;
+  Opt.Decimal = "10967535067"; // 104729 * 104723
+  Opt.FactorBaseSize = 30;
+  CfracResult R = runCfrac(Mem, Opt);
+  ASSERT_TRUE(R.Factored);
+  EXPECT_TRUE(R.FactorLow64 == 104729 || R.FactorLow64 == 104723)
+      << "got " << R.FactorLow64;
+}
+
+TEST_F(WorkloadQualityTest, CfracFindsFactorOfMediumSemiprime) {
+  CfracOptions Opt;
+  Opt.Decimal = "1041483498857"; // 1020379 * 1020683
+  Opt.FactorBaseSize = 40;
+  CfracResult R = runCfrac(Mem, Opt);
+  ASSERT_TRUE(R.Factored);
+  EXPECT_TRUE(R.FactorLow64 == 1020379 || R.FactorLow64 == 1020683)
+      << "got " << R.FactorLow64;
+}
+
+TEST_F(WorkloadQualityTest, CfracHandlesPrimeTimesSmallPrime) {
+  CfracOptions Opt;
+  Opt.Decimal = "310"; // 2 * 5 * 31: a base prime divides N
+  Opt.FactorBaseSize = 10;
+  CfracResult R = runCfrac(Mem, Opt);
+  ASSERT_TRUE(R.Factored);
+  EXPECT_GT(R.FactorLow64, 1u);
+  EXPECT_LT(R.FactorLow64, 310u);
+  EXPECT_EQ(310u % R.FactorLow64, 0u) << "must be a true divisor";
+}
+
+TEST_F(WorkloadQualityTest, CfracPerfectSquare) {
+  CfracOptions Opt;
+  Opt.Decimal = "1524155677489"; // 1234567^2
+  Opt.FactorBaseSize = 20;
+  CfracResult R = runCfrac(Mem, Opt);
+  ASSERT_TRUE(R.Factored);
+  EXPECT_EQ(R.FactorLow64, 1234567u);
+}
+
+//===----------------------------------------------------------------------===//
+// grobner: the returned basis must be closed under S-poly reduction
+//===----------------------------------------------------------------------===//
+
+TEST_F(WorkloadQualityTest, GrobnerBasisIsClosed) {
+  // Re-run the algorithm, then independently check the Buchberger
+  // criterion: every S-polynomial of basis pairs reduces to zero.
+  GrobnerOptions Opt;
+  Opt.NumPolys = 6;
+  Opt.NumVars = 5;
+  Opt.Seed = 9;
+
+  [[maybe_unused]] DirectModel::Frame F;
+  DirectModel::Token Scope = Mem.makeRegion();
+  ScopedArena<DirectModel> Arena{Mem, Scope};
+  PolyBuilder<ScopedArena<DirectModel>> B(Arena);
+
+  // Recompute the basis with the library (small bound keeps it quick).
+  std::vector<Poly> Basis;
+  {
+    std::vector<Poly> Gens = grobner_detail::generateSystem(B, Opt);
+    for (Poly P : Gens) {
+      Poly R = B.reduce(P, Basis.data(),
+                        static_cast<std::uint32_t>(Basis.size()));
+      if (!R.isZero())
+        Basis.push_back(R);
+    }
+    bool Changed = true;
+    int Guard = 0;
+    while (Changed && ++Guard < 200) {
+      Changed = false;
+      for (std::size_t I = 0; I < Basis.size() && !Changed; ++I)
+        for (std::size_t J = I + 1; J < Basis.size() && !Changed; ++J) {
+          if (Basis[I].lead().Mono.coprimeWith(Basis[J].lead().Mono))
+            continue;
+          Poly S = B.sPoly(Basis[I], Basis[J]);
+          Poly R = B.reduce(S, Basis.data(),
+                            static_cast<std::uint32_t>(Basis.size()));
+          if (!R.isZero()) {
+            Basis.push_back(R);
+            Changed = true;
+          }
+        }
+    }
+    ASSERT_LT(Guard, 200) << "basis computation did not converge";
+  }
+
+  // Independent closure check.
+  for (std::size_t I = 0; I < Basis.size(); ++I)
+    for (std::size_t J = I + 1; J < Basis.size(); ++J) {
+      Poly S = B.sPoly(Basis[I], Basis[J]);
+      Poly R = B.reduce(S, Basis.data(),
+                        static_cast<std::uint32_t>(Basis.size()));
+      ASSERT_TRUE(R.isZero())
+          << "S-poly of basis elements " << I << "," << J
+          << " does not reduce to zero: not a Groebner basis";
+    }
+  // And the generators themselves reduce to zero modulo the basis.
+  std::vector<Poly> Gens = grobner_detail::generateSystem(B, Opt);
+  for (Poly P : Gens)
+    EXPECT_TRUE(B.reduce(P, Basis.data(),
+                         static_cast<std::uint32_t>(Basis.size()))
+                    .isZero());
+}
+
+//===----------------------------------------------------------------------===//
+// tile: boundaries near the generator's ground truth
+//===----------------------------------------------------------------------===//
+
+TEST_F(WorkloadQualityTest, TileBoundariesTrackGroundTruth) {
+  TileOptions Opt;
+  Opt.NumDocs = 1;
+  Opt.Text.Seed = 77;
+  Opt.Text.NumSegments = 8;
+  Opt.Text.SentencesPerSegment = 20;
+  TileResult R = runTile(Mem, Opt);
+  // The generator embeds NumSegments-1 = 7 true topic shifts; the
+  // detector should recover roughly that many cuts. (TextTiling's
+  // relative depth cutoff famously also fires on lexical noise, so we
+  // bound rather than pin the count.)
+  EXPECT_GE(R.TotalBoundaries, Opt.Text.NumSegments / 2)
+      << "must recover a fair share of the 7 true boundaries";
+  EXPECT_LE(R.TotalBoundaries, Opt.Text.NumSegments * 5 / 2)
+      << "must not shatter the text into noise";
+}
+
+//===----------------------------------------------------------------------===//
+// moss: plagiarized pairs must out-rank clean corpora
+//===----------------------------------------------------------------------===//
+
+TEST_F(WorkloadQualityTest, MossDetectsPlagiarizedCorpus) {
+  MossOptions Dirty;
+  Dirty.NumDocs = 20;
+  Dirty.Sub.PlagiarismRate = 0.5;
+  Dirty.Sub.Seed = 3;
+  MossResult R1 = runMoss(Mem, Dirty);
+  EXPECT_GT(R1.MatchingPairs, 0u);
+
+  MossOptions Clean = Dirty;
+  Clean.Sub.PlagiarismRate = 0.0; // document-private vocabularies only
+  MossResult R2 = runMoss(Mem, Clean);
+  EXPECT_EQ(R2.MatchingPairs, 0u)
+      << "no shared fragments, no matching pairs";
+  EXPECT_GT(R1.TotalMatches, R2.TotalMatches * 10 + 10);
+}
+
+TEST_F(WorkloadQualityTest, MossMatchesScaleWithPlagiarismRate) {
+  std::uint64_t Last = 0;
+  for (double Rate : {0.1, 0.4, 0.8}) {
+    MossOptions Opt;
+    Opt.NumDocs = 16;
+    Opt.Sub.PlagiarismRate = Rate;
+    Opt.Sub.Seed = 12;
+    MossResult R = runMoss(Mem, Opt);
+    EXPECT_GE(R.TotalMatches, Last)
+        << "more plagiarism, more matches (rate " << Rate << ")";
+    Last = R.TotalMatches;
+  }
+  EXPECT_GT(Last, 0u);
+}
+
+} // namespace

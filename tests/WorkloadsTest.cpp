@@ -1,0 +1,171 @@
+//===- tests/WorkloadsTest.cpp - Cross-backend workload tests -------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Integration tests: every workload must produce the same checksum on
+// every backend (region organization and malloc organization are two
+// views of one program), must succeed semantically (factor found,
+// basis computed, boundaries found, matches found), and region
+// backends must end with zero live regions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using namespace regions::workloads;
+
+namespace {
+
+WorkloadOptions smallOptions() {
+  WorkloadOptions Opt;
+  Opt.Scale = 0.1; // keep the full grid fast in unit tests
+  return Opt;
+}
+
+constexpr BackendKind kComparisonBackends[] = {
+    BackendKind::RegionSafe, BackendKind::RegionUnsafe,
+    BackendKind::Sun,        BackendKind::Bsd,
+    BackendKind::Lea,        BackendKind::Gc,
+    BackendKind::EmuLea,     BackendKind::Bump,
+};
+
+class PerWorkloadTest : public ::testing::TestWithParam<WorkloadId> {};
+
+TEST_P(PerWorkloadTest, ChecksumsAgreeAcrossAllBackends) {
+  WorkloadOptions Opt = smallOptions();
+  RunResult Reference = runWorkload(GetParam(), BackendKind::Lea, Opt);
+  EXPECT_TRUE(Reference.Ok) << "workload failed semantically";
+  EXPECT_NE(Reference.Checksum, 0u);
+  for (BackendKind B : kComparisonBackends) {
+    RunResult R = runWorkload(GetParam(), B, Opt);
+    EXPECT_EQ(R.Checksum, Reference.Checksum)
+        << "backend " << backendName(B) << " diverged";
+    EXPECT_TRUE(R.Ok) << backendName(B);
+  }
+}
+
+TEST_P(PerWorkloadTest, RegionBackendReportsRegionActivity) {
+  WorkloadOptions Opt = smallOptions();
+  RunResult R = runWorkload(GetParam(), BackendKind::RegionSafe, Opt);
+  ASSERT_TRUE(R.HasRegionStats);
+  EXPECT_GT(R.TotalRegions, 0u);
+  EXPECT_GT(R.TotalAllocs, 0u);
+  EXPECT_GT(R.MaxRegionBytes, 0u);
+  EXPECT_EQ(R.Region.LiveRegions, 0u) << "workload leaked regions";
+  EXPECT_EQ(R.Region.DeleteFailures, 0u)
+      << "workload left stale references somewhere";
+}
+
+TEST_P(PerWorkloadTest, UnsafeRegionsDoNoCounting) {
+  WorkloadOptions Opt = smallOptions();
+  RunResult R = runWorkload(GetParam(), BackendKind::RegionUnsafe, Opt);
+  ASSERT_TRUE(R.HasRegionStats);
+  EXPECT_EQ(R.Region.BarrierAdjustments, 0u);
+  EXPECT_EQ(R.StackScans, 0u);
+}
+
+TEST_P(PerWorkloadTest, MallocBackendFreesEverything) {
+  WorkloadOptions Opt = smallOptions();
+  RunResult R = runWorkload(GetParam(), BackendKind::Lea, Opt);
+  // Live bytes at the end: the DirectModel either freed objects
+  // individually or they were program-lifetime structures. Workloads
+  // are written to dispose of everything they allocate.
+  EXPECT_GT(R.TotalAllocs, 0u);
+}
+
+TEST_P(PerWorkloadTest, CacheTracingProducesStats) {
+  WorkloadOptions Opt = smallOptions();
+  Opt.TouchTracing = true;
+  RunResult R = runWorkload(GetParam(), BackendKind::RegionSafe, Opt);
+  ASSERT_TRUE(R.HasCacheStats);
+  EXPECT_GT(R.Cache.Reads + R.Cache.Writes, 0u);
+}
+
+TEST_P(PerWorkloadTest, GcBackendCollects) {
+  WorkloadOptions Opt = smallOptions();
+  RunResult R = runWorkload(GetParam(), BackendKind::Gc, Opt);
+  ASSERT_TRUE(R.HasGcStats);
+  EXPECT_TRUE(R.Ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PerWorkloadTest,
+                         ::testing::ValuesIn(kAllWorkloads),
+                         [](const ::testing::TestParamInfo<WorkloadId> &I) {
+                           return std::string(workloadName(I.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// Workload-specific semantic checks
+//===----------------------------------------------------------------------===//
+
+TEST(CfracSemanticsTest, FactorsTheSmallSemiprime) {
+  WorkloadOptions Opt;
+  Opt.Scale = 0.1; // 10967535067 = 104729 * 104723
+  RunResult R = runWorkload(WorkloadId::Cfrac, BackendKind::Lea, Opt);
+  EXPECT_TRUE(R.Ok) << "cfrac must find a factor";
+}
+
+TEST(CfracSemanticsTest, FactorsTheMediumSemiprime) {
+  WorkloadOptions Opt;
+  Opt.Scale = 0.5; // 1041483498857 = 1020379 * 1020683
+  RunResult R = runWorkload(WorkloadId::Cfrac, BackendKind::Lea, Opt);
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(MossSemanticsTest, SplitAndSlowVariantsMatchSemantically) {
+  // The locality optimization must not change the computed matches.
+  WorkloadOptions Split = smallOptions();
+  Split.MossSplitRegions = true;
+  WorkloadOptions Slow = smallOptions();
+  Slow.MossSplitRegions = false;
+  RunResult A = runWorkload(WorkloadId::Moss, BackendKind::RegionSafe, Split);
+  RunResult B = runWorkload(WorkloadId::Moss, BackendKind::RegionSafe, Slow);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_GT(A.TotalRegions, B.TotalRegions - 1)
+      << "split variant uses an extra region";
+}
+
+TEST(SafetyCostTest, DisablingComponentsKeepsResults) {
+  // Figure 11's methodology: toggling safety components must never
+  // change workload results, only cost.
+  WorkloadOptions Opt = smallOptions();
+  RunResult Full = runWorkload(WorkloadId::Mudlle, BackendKind::RegionSafe,
+                               Opt);
+  for (int Component = 0; Component != 3; ++Component) {
+    WorkloadOptions Partial = Opt;
+    Partial.RegionConfig = SafetyConfig::safeConfig();
+    if (Component == 0)
+      Partial.RegionConfig.RefCounts = false;
+    if (Component == 1)
+      Partial.RegionConfig.StackScan = false;
+    if (Component == 2)
+      Partial.RegionConfig.CleanupScan = false;
+    RunResult R = runWorkload(WorkloadId::Mudlle, BackendKind::RegionSafe,
+                              Partial);
+    EXPECT_EQ(R.Checksum, Full.Checksum) << "component " << Component;
+  }
+}
+
+TEST(ScaleTest, LargerScaleDoesMoreWork) {
+  WorkloadOptions Small = smallOptions();
+  WorkloadOptions Bigger = smallOptions();
+  Bigger.Scale = 0.3;
+  RunResult A = runWorkload(WorkloadId::Tile, BackendKind::Lea, Small);
+  RunResult B = runWorkload(WorkloadId::Tile, BackendKind::Lea, Bigger);
+  EXPECT_GT(B.TotalAllocs, A.TotalAllocs);
+}
+
+TEST(DeterminismTest, RepeatRunsAreIdentical) {
+  WorkloadOptions Opt = smallOptions();
+  for (WorkloadId W : {WorkloadId::Grobner, WorkloadId::Moss}) {
+    RunResult A = runWorkload(W, BackendKind::RegionSafe, Opt);
+    RunResult B = runWorkload(W, BackendKind::RegionSafe, Opt);
+    EXPECT_EQ(A.Checksum, B.Checksum) << workloadName(W);
+    EXPECT_EQ(A.TotalAllocs, B.TotalAllocs) << workloadName(W);
+  }
+}
+
+} // namespace
