@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stalls.dir/fig10_stalls.cpp.o"
+  "CMakeFiles/fig10_stalls.dir/fig10_stalls.cpp.o.d"
+  "fig10_stalls"
+  "fig10_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

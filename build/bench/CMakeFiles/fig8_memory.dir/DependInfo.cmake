@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_memory.cpp" "bench/CMakeFiles/fig8_memory.dir/fig8_memory.cpp.o" "gcc" "bench/CMakeFiles/fig8_memory.dir/fig8_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/regions_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/regions_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/regions_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/regions_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/regions_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/regions_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/regions_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

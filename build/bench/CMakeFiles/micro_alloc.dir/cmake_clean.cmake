@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_alloc.dir/micro_alloc.cpp.o"
+  "CMakeFiles/micro_alloc.dir/micro_alloc.cpp.o.d"
+  "micro_alloc"
+  "micro_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_changes.dir/table1_changes.cpp.o"
+  "CMakeFiles/table1_changes.dir/table1_changes.cpp.o.d"
+  "table1_changes"
+  "table1_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_regions.dir/parallel_regions.cpp.o"
+  "CMakeFiles/parallel_regions.dir/parallel_regions.cpp.o.d"
+  "parallel_regions"
+  "parallel_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_debugging.dir/region_debugging.cpp.o"
+  "CMakeFiles/region_debugging.dir/region_debugging.cpp.o.d"
+  "region_debugging"
+  "region_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_regions.dir/safe_regions.cpp.o"
+  "CMakeFiles/safe_regions.dir/safe_regions.cpp.o.d"
+  "safe_regions"
+  "safe_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

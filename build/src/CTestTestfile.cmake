@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("region")
+subdirs("alloc")
+subdirs("gc")
+subdirs("emulation")
+subdirs("cachesim")
+subdirs("backend")
+subdirs("bignum")
+subdirs("poly")
+subdirs("mudlle")
+subdirs("text")
+subdirs("workloads")
+subdirs("harness")

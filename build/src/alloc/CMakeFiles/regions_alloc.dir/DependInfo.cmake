@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/BestFitAllocator.cpp" "src/alloc/CMakeFiles/regions_alloc.dir/BestFitAllocator.cpp.o" "gcc" "src/alloc/CMakeFiles/regions_alloc.dir/BestFitAllocator.cpp.o.d"
+  "/root/repo/src/alloc/PowerOfTwoAllocator.cpp" "src/alloc/CMakeFiles/regions_alloc.dir/PowerOfTwoAllocator.cpp.o" "gcc" "src/alloc/CMakeFiles/regions_alloc.dir/PowerOfTwoAllocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/regions_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_alloc.dir/BestFitAllocator.cpp.o"
+  "CMakeFiles/regions_alloc.dir/BestFitAllocator.cpp.o.d"
+  "CMakeFiles/regions_alloc.dir/PowerOfTwoAllocator.cpp.o"
+  "CMakeFiles/regions_alloc.dir/PowerOfTwoAllocator.cpp.o.d"
+  "libregions_alloc.a"
+  "libregions_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libregions_alloc.a"
+)

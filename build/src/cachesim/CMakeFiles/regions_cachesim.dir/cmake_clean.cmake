@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_cachesim.dir/CacheSim.cpp.o"
+  "CMakeFiles/regions_cachesim.dir/CacheSim.cpp.o.d"
+  "libregions_cachesim.a"
+  "libregions_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

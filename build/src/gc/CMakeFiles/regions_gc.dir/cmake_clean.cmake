@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_gc.dir/GcHeap.cpp.o"
+  "CMakeFiles/regions_gc.dir/GcHeap.cpp.o.d"
+  "libregions_gc.a"
+  "libregions_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/regions_harness.dir/Experiment.cpp.o.d"
+  "libregions_harness.a"
+  "libregions_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

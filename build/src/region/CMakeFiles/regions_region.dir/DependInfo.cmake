@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/Debug.cpp" "src/region/CMakeFiles/regions_region.dir/Debug.cpp.o" "gcc" "src/region/CMakeFiles/regions_region.dir/Debug.cpp.o.d"
+  "/root/repo/src/region/PageMap.cpp" "src/region/CMakeFiles/regions_region.dir/PageMap.cpp.o" "gcc" "src/region/CMakeFiles/regions_region.dir/PageMap.cpp.o.d"
+  "/root/repo/src/region/Parallel.cpp" "src/region/CMakeFiles/regions_region.dir/Parallel.cpp.o" "gcc" "src/region/CMakeFiles/regions_region.dir/Parallel.cpp.o.d"
+  "/root/repo/src/region/Region.cpp" "src/region/CMakeFiles/regions_region.dir/Region.cpp.o" "gcc" "src/region/CMakeFiles/regions_region.dir/Region.cpp.o.d"
+  "/root/repo/src/region/RuntimeStack.cpp" "src/region/CMakeFiles/regions_region.dir/RuntimeStack.cpp.o" "gcc" "src/region/CMakeFiles/regions_region.dir/RuntimeStack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/regions_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_region.dir/Debug.cpp.o"
+  "CMakeFiles/regions_region.dir/Debug.cpp.o.d"
+  "CMakeFiles/regions_region.dir/PageMap.cpp.o"
+  "CMakeFiles/regions_region.dir/PageMap.cpp.o.d"
+  "CMakeFiles/regions_region.dir/Parallel.cpp.o"
+  "CMakeFiles/regions_region.dir/Parallel.cpp.o.d"
+  "CMakeFiles/regions_region.dir/Region.cpp.o"
+  "CMakeFiles/regions_region.dir/Region.cpp.o.d"
+  "CMakeFiles/regions_region.dir/RuntimeStack.cpp.o"
+  "CMakeFiles/regions_region.dir/RuntimeStack.cpp.o.d"
+  "libregions_region.a"
+  "libregions_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

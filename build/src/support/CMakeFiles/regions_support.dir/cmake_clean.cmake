@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_support.dir/PageSource.cpp.o"
+  "CMakeFiles/regions_support.dir/PageSource.cpp.o.d"
+  "CMakeFiles/regions_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/regions_support.dir/TableWriter.cpp.o.d"
+  "libregions_support.a"
+  "libregions_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

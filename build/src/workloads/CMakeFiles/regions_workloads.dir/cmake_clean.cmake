@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/regions_workloads.dir/Workloads.cpp.o.d"
+  "libregions_workloads.a"
+  "libregions_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

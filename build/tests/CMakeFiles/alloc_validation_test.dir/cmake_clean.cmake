@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_validation_test.dir/AllocValidationTest.cpp.o"
+  "CMakeFiles/alloc_validation_test.dir/AllocValidationTest.cpp.o.d"
+  "alloc_validation_test"
+  "alloc_validation_test.pdb"
+  "alloc_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_tools_test.dir/DebugToolsTest.cpp.o"
+  "CMakeFiles/debug_tools_test.dir/DebugToolsTest.cpp.o.d"
+  "debug_tools_test"
+  "debug_tools_test.pdb"
+  "debug_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_stress_test.dir/GcStressTest.cpp.o"
+  "CMakeFiles/gc_stress_test.dir/GcStressTest.cpp.o.d"
+  "gc_stress_test"
+  "gc_stress_test.pdb"
+  "gc_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

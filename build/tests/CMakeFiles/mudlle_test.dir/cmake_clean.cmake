@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudlle_test.dir/MudlleTest.cpp.o"
+  "CMakeFiles/mudlle_test.dir/MudlleTest.cpp.o.d"
+  "mudlle_test"
+  "mudlle_test.pdb"
+  "mudlle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudlle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

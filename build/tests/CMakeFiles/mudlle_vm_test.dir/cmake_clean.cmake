@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mudlle_vm_test.dir/MudlleVmTest.cpp.o"
+  "CMakeFiles/mudlle_vm_test.dir/MudlleVmTest.cpp.o.d"
+  "mudlle_vm_test"
+  "mudlle_vm_test.pdb"
+  "mudlle_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mudlle_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

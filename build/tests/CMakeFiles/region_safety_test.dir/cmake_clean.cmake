@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_safety_test.dir/RegionSafetyTest.cpp.o"
+  "CMakeFiles/region_safety_test.dir/RegionSafetyTest.cpp.o.d"
+  "region_safety_test"
+  "region_safety_test.pdb"
+  "region_safety_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_stack_test.dir/RuntimeStackTest.cpp.o"
+  "CMakeFiles/runtime_stack_test.dir/RuntimeStackTest.cpp.o.d"
+  "runtime_stack_test"
+  "runtime_stack_test.pdb"
+  "runtime_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_quality_test.dir/WorkloadQualityTest.cpp.o"
+  "CMakeFiles/workload_quality_test.dir/WorkloadQualityTest.cpp.o.d"
+  "workload_quality_test"
+  "workload_quality_test.pdb"
+  "workload_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

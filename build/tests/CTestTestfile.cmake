@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/region_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/region_safety_test[1]_include.cmake")
+include("/root/repo/build/tests/alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/nat_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/mudlle_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/region_property_test[1]_include.cmake")
+include("/root/repo/build/tests/alloc_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/debug_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/emulation_test[1]_include.cmake")
+include("/root/repo/build/tests/mudlle_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_quality_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
