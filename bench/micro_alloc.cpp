@@ -48,6 +48,34 @@ void BM_RegionAllocSafe(benchmark::State &State) {
 }
 BENCHMARK(BM_RegionAllocSafe);
 
+/// Raw (pointer-free) allocation under the safe configuration: the str
+/// side has no headers or clearing, so safety should cost nothing here.
+void BM_RegionAllocSafeRaw(benchmark::State &State) {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{1} << 30};
+  for (auto _ : State) {
+    Region *R = Mgr.newRegion();
+    for (int I = 0; I != kBatch; ++I)
+      benchmark::DoNotOptimize(Mgr.allocRaw(R, kObjectBytes));
+    Mgr.deleteRegionRaw(R);
+  }
+  State.SetItemsProcessed(State.iterations() * kBatch);
+}
+BENCHMARK(BM_RegionAllocSafeRaw);
+
+/// Cleared pointer-free allocation (rnewArray's trivial path): on
+/// never-recycled pages the clear is free.
+void BM_RegionAllocZeroedRaw(benchmark::State &State) {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{1} << 30};
+  for (auto _ : State) {
+    Region *R = Mgr.newRegion();
+    for (int I = 0; I != kBatch; ++I)
+      benchmark::DoNotOptimize(Mgr.allocRawZeroed(R, kObjectBytes));
+    Mgr.deleteRegionRaw(R);
+  }
+  State.SetItemsProcessed(State.iterations() * kBatch);
+}
+BENCHMARK(BM_RegionAllocZeroedRaw);
+
 template <class Allocator> void BM_MallocFree(benchmark::State &State) {
   Allocator A(std::size_t{1} << 28);
   void *Ptrs[kBatch];
@@ -122,6 +150,21 @@ void BM_RegionOf(benchmark::State &State) {
     benchmark::DoNotOptimize(regionOf(P));
 }
 BENCHMARK(BM_RegionOf);
+
+/// Worst case for the hot-arena cache: pointers from two managers
+/// alternate, so every lookup misses the cached arena and takes the
+/// out-of-line registry scan.
+void BM_RegionOfAlternatingArenas(benchmark::State &State) {
+  RegionManager Mgr1{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+  RegionManager Mgr2{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+  void *P1 = Mgr1.allocRaw(Mgr1.newRegion(), 64);
+  void *P2 = Mgr2.allocRaw(Mgr2.newRegion(), 64);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(regionOf(P1));
+    benchmark::DoNotOptimize(regionOf(P2));
+  }
+}
+BENCHMARK(BM_RegionOfAlternatingArenas);
 
 void BM_FramePushPop(benchmark::State &State) {
   for (auto _ : State) {

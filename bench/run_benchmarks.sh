@@ -1,0 +1,86 @@
+#!/bin/sh
+# Regression harness for the allocation microbenchmarks.
+#
+# Runs bench/micro_alloc in JSON mode and distils the results into
+# BENCH_micro_alloc.json: one record per benchmark with ns/alloc
+# (items-per-second inverted) so successive runs can be diffed by eye
+# or by CI. The safe/unsafe split mirrors the paper's Figure 11 axis.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_micro_alloc.json}
+BIN="$BUILD_DIR/bench/micro_alloc"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" --benchmark_format=json \
+       --benchmark_min_time=0.2 \
+       --benchmark_filter='BM_Region(Alloc|AllocSafe|AllocSafeRaw|AllocZeroedRaw|BulkDelete|Of.*)$' \
+       > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+# Which configuration each benchmark exercises (Figure 11's axis).
+CONFIG = {
+    "BM_RegionAlloc": "unsafe",
+    "BM_RegionBulkDelete": "unsafe",
+    "BM_RegionAllocSafe": "safe",
+    "BM_RegionAllocSafeRaw": "safe",
+    "BM_RegionAllocZeroedRaw": "safe",
+    "BM_RegionOf": "safe",
+    "BM_RegionOfAlternatingArenas": "safe",
+}
+
+results = []
+for b in report.get("benchmarks", []):
+    name = b["name"].split("/")[0]
+    entry = {
+        "name": name,
+        "config": CONFIG.get(name, "unsafe"),
+        "real_time_ns": round(b["real_time"], 3),
+    }
+    ips = b.get("items_per_second")
+    if ips:
+        entry["ns_per_alloc"] = round(1e9 / ips, 4)
+    results.append(entry)
+
+out = {
+    "benchmark": "micro_alloc",
+    "context": {
+        k: report["context"].get(k)
+        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+    },
+    "results": results,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(results)} benchmarks)")
+PY
+
+# Human-readable summary of the headline numbers.
+python3 - "$OUT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+print(f"{'benchmark':<32} {'config':<7} {'ns/op':>9}")
+for r in data["results"]:
+    ns = r.get("ns_per_alloc", r["real_time_ns"])
+    print(f"{r['name']:<32} {r['config']:<7} {ns:>9}")
+PY

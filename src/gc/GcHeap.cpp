@@ -222,10 +222,14 @@ void GcHeap::markFromRoots() {
 
   if (ScanMachineStack && StackBottom) {
     // Spill callee-saved registers into a jmp_buf on the stack, then
-    // scan from the current frame to the captured bottom.
+    // scan from the jmp_buf itself to the captured bottom. The scan
+    // must start at the jmp_buf, not __builtin_frame_address(0): the
+    // frame pointer sits above this frame's locals, so starting there
+    // would exclude the spilled registers — a pointer live only in a
+    // callee-saved register would be missed and its object swept.
     jmp_buf Regs;
     (void)setjmp(Regs);
-    char *Top = static_cast<char *>(__builtin_frame_address(0));
+    char *Top = reinterpret_cast<char *>(&Regs);
     if (Top < StackBottom)
       markRange(Top, StackBottom);
     else

@@ -15,6 +15,7 @@ namespace detail {
 
 ArenaInfo GArenas[kMaxArenas];
 unsigned GNumArenas = 0;
+std::atomic<unsigned> GHotArena{0};
 
 namespace {
 /// Guards registry mutation; regionOf reads without the lock, which is
@@ -39,9 +40,24 @@ void unregisterArena(const void *Base) {
     if (GArenas[I].Base != Addr)
       continue;
     GArenas[I] = GArenas[--GNumArenas];
+    // Clear the vacated slot so a stale hot-arena index can never match
+    // an address against the dead (possibly unmapped) arena.
+    GArenas[GNumArenas] = {0, 0, nullptr};
+    GHotArena.store(0, std::memory_order_relaxed);
     return;
   }
   assert(false && "unregisterArena: arena was never registered");
+}
+
+Region *regionOfSlow(std::uintptr_t Addr) {
+  for (unsigned I = 0, E = GNumArenas; I != E; ++I) {
+    const ArenaInfo &A = GArenas[I];
+    if (Addr - A.Base < A.End - A.Base) {
+      GHotArena.store(I, std::memory_order_relaxed);
+      return A.Map[(Addr - A.Base) >> kPageShift];
+    }
+  }
+  return nullptr;
 }
 
 } // namespace detail

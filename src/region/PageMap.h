@@ -14,6 +14,12 @@
 /// every arena (stack, globals, malloc memory) yield nullptr, which is
 /// exactly the "not in a region" answer the write barrier needs.
 ///
+/// Nearly every workload runs a single manager, and even multi-manager
+/// programs hit the same arena repeatedly, so regionOf checks a cached
+/// most-recently-hit arena first: the common case is one bounds test
+/// and one map load. Misses (other arenas, or a non-arena address) take
+/// the out-of-line registry scan, which refreshes the cache.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REGION_PAGEMAP_H
@@ -21,6 +27,7 @@
 
 #include "support/Align.h"
 
+#include <atomic>
 #include <cstdint>
 
 namespace regions {
@@ -41,6 +48,11 @@ inline constexpr unsigned kMaxArenas = 32;
 extern ArenaInfo GArenas[kMaxArenas];
 extern unsigned GNumArenas;
 
+/// Index of the most recently hit arena; regionOf's fast path probes it
+/// before falling back to the full registry scan. Relaxed atomic: a
+/// stale value only costs a slow-path trip, never a wrong answer.
+extern std::atomic<unsigned> GHotArena;
+
 /// Registers \p Map for [Base, Base + NumPages*kPageSize). Fatal if the
 /// registry is full. Called by RegionManager construction.
 void registerArena(const void *Base, std::size_t NumPages,
@@ -49,6 +61,10 @@ void registerArena(const void *Base, std::size_t NumPages,
 /// Removes a previously registered arena.
 void unregisterArena(const void *Base);
 
+/// Full registry scan for addresses missing the hot-arena cache;
+/// refreshes the cache on a hit.
+Region *regionOfSlow(std::uintptr_t Addr);
+
 } // namespace detail
 
 /// Returns the region containing \p Ptr, or nullptr if \p Ptr does not
@@ -56,12 +72,11 @@ void unregisterArena(const void *Base);
 /// memory). Interior pointers resolve to their region, as in the paper.
 inline Region *regionOf(const void *Ptr) {
   auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
-  for (unsigned I = 0, E = detail::GNumArenas; I != E; ++I) {
-    const detail::ArenaInfo &A = detail::GArenas[I];
-    if (Addr - A.Base < A.End - A.Base)
-      return A.Map[(Addr - A.Base) >> kPageShift];
-  }
-  return nullptr;
+  const detail::ArenaInfo &Hot =
+      detail::GArenas[detail::GHotArena.load(std::memory_order_relaxed)];
+  if (Addr - Hot.Base < Hot.End - Hot.Base)
+    return Hot.Map[(Addr - Hot.Base) >> kPageShift];
+  return detail::regionOfSlow(Addr);
 }
 
 } // namespace regions

@@ -11,25 +11,15 @@
 #include <cstring>
 
 using namespace regions;
+using detail::headerOf;
+using detail::kPageZeroTail;
 using detail::PageHeader;
 using detail::PageKind;
+using detail::writeEndMarker;
 
 static_assert(std::is_standard_layout_v<Region>, "Region lives in raw pages");
 static_assert(std::is_trivially_destructible_v<Region>,
               "Region is reclaimed as raw pages, never destroyed");
-
-namespace {
-
-PageHeader *headerOf(char *Page) { return reinterpret_cast<PageHeader *>(Page); }
-
-/// Writes the NULL end marker the region scan stops at (Figure 7), if
-/// there is room for another object header on the page.
-void writeEndMarker(char *Page, std::uint32_t Offset) {
-  if (Offset + sizeof(ScanThunk) <= kPageSize)
-    *reinterpret_cast<ScanThunk *>(Page + Offset) = nullptr;
-}
-
-} // namespace
 
 RegionManager::RegionManager(SafetyConfig Config, std::size_t ReserveBytes)
     : Source(ReserveBytes), Cfg(Config) {
@@ -53,20 +43,35 @@ void RegionManager::setMapRange(const void *Page, std::size_t NumPages,
 }
 
 char *RegionManager::newPage(Region *R, PageKind Kind) {
-  char *Page = static_cast<char *>(Source.allocPages(1));
+  bool Zeroed = false;
+  char *Page = static_cast<char *>(Source.allocPages(1, &Zeroed));
+  std::uint16_t Flags = Zeroed ? kPageZeroTail : 0;
+  // A dirty normal page under ZeroMemory is cleared wholesale on
+  // refill: one page-sized memset replaces the per-object memsets and
+  // end-marker stores the fast path would otherwise issue.
+  if (!Zeroed && Kind == PageKind::Normal && Cfg.ZeroMemory) {
+    std::memset(Page + sizeof(PageHeader), 0, kPageSize - sizeof(PageHeader));
+    Flags = kPageZeroTail;
+  }
   Region::BumpList &List = Kind == PageKind::Str ? R->Str : R->Normal;
-  *headerOf(Page) = {List.Head, sizeof(PageHeader), Kind, 0};
+  *headerOf(Page) = {List.Head, sizeof(PageHeader), Kind, Flags};
   List.Head = Page;
   List.Offset = sizeof(PageHeader);
   setMapRange(Page, 1, R);
-  if (Kind == PageKind::Normal)
+  if (Kind == PageKind::Normal && !(Flags & kPageZeroTail))
     writeEndMarker(Page, List.Offset);
   return Page;
 }
 
 Region *RegionManager::newRegion() {
-  char *Page = static_cast<char *>(Source.allocPages(1));
-  *headerOf(Page) = {nullptr, 0, PageKind::Normal, 0};
+  bool Zeroed = false;
+  char *Page = static_cast<char *>(Source.allocPages(1, &Zeroed));
+  std::uint16_t Flags = Zeroed ? kPageZeroTail : 0;
+  if (!Zeroed && Cfg.ZeroMemory) {
+    std::memset(Page + sizeof(PageHeader), 0, kPageSize - sizeof(PageHeader));
+    Flags = kPageZeroTail;
+  }
+  *headerOf(Page) = {nullptr, 0, PageKind::Normal, Flags};
 
   // The region structure lives in its own first page, offset by
   // successive multiples of 64 bytes (up to 512) to spread region
@@ -80,7 +85,8 @@ Region *RegionManager::newRegion() {
       sizeof(PageHeader) + CacheOffset + alignTo(sizeof(Region),
                                                  kDefaultAlignment));
   headerOf(Page)->ScanStart = R->Normal.Offset;
-  writeEndMarker(Page, R->Normal.Offset);
+  if (!(Flags & kPageZeroTail))
+    writeEndMarker(Page, R->Normal.Offset);
   setMapRange(Page, 1, R);
 
   R->NextLive = LiveHead;
@@ -95,66 +101,54 @@ Region *RegionManager::newRegion() {
   return R;
 }
 
-void *RegionManager::allocRaw(Region *R, std::size_t Size) {
-  assert(R && R->Mgr == this && "region belongs to another manager");
+void *RegionManager::allocRawSlow(Region *R, std::size_t Size, bool Zeroed) {
   std::size_t Need = alignTo(Size, kDefaultAlignment);
-  if (Need > kPageSize - sizeof(PageHeader))
-    return allocLarge(R, Size, nullptr);
+  if (Need < Size || Need > kPageSize - sizeof(PageHeader))
+    return allocLarge(R, Size, nullptr, Zeroed);
 
+  newPage(R, PageKind::Str);
   Region::BumpList &B = R->Str;
-  if (!B.Head || B.Offset + Need > kPageSize)
-    newPage(R, PageKind::Str);
   char *Result = B.Head + B.Offset;
   B.Offset += static_cast<std::uint32_t>(Need);
-
+  if (Zeroed && !(headerOf(B.Head)->Flags & kPageZeroTail))
+    std::memset(Result, 0, Need);
   ++R->NumAllocs;
   R->ReqBytes += Size;
-  ++Stats.TotalAllocs;
-  Stats.TotalRequestedBytes += Size;
-  Stats.LiveRequestedBytes += Size;
-  if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
-    Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
-  if (R->ReqBytes > Stats.MaxRegionBytes)
-    Stats.MaxRegionBytes = R->ReqBytes;
   return Result;
 }
 
-void *RegionManager::allocScanned(Region *R, std::size_t Size,
-                                  ScanThunk Thunk) {
-  assert(R && R->Mgr == this && "region belongs to another manager");
-  assert(Thunk && "scanned allocations need a cleanup thunk");
+void *RegionManager::allocScannedSlow(Region *R, std::size_t Size,
+                                      ScanThunk Thunk) {
   std::size_t Payload = alignTo(Size, kDefaultAlignment);
   std::size_t Need = sizeof(ScanThunk) + Payload;
-  if (Need > kPageSize - sizeof(PageHeader))
-    return allocLarge(R, Size, Thunk);
+  if (Payload < Size || Need > kPageSize - sizeof(PageHeader))
+    return allocLarge(R, Size, Thunk, false);
 
+  newPage(R, PageKind::Normal);
   Region::BumpList &B = R->Normal;
-  if (!B.Head || B.Offset + Need > kPageSize)
-    newPage(R, PageKind::Normal);
   char *Base = B.Head + B.Offset;
   *reinterpret_cast<ScanThunk *>(Base) = Thunk;
   B.Offset += static_cast<std::uint32_t>(Need);
-  writeEndMarker(B.Head, B.Offset);
-  if (Cfg.ZeroMemory)
-    std::memset(Base + sizeof(ScanThunk), 0, Payload);
-
+  if (!(headerOf(B.Head)->Flags & kPageZeroTail)) {
+    writeEndMarker(B.Head, B.Offset);
+    if (Cfg.ZeroMemory)
+      std::memset(Base + sizeof(ScanThunk), 0, Payload);
+  }
   ++R->NumAllocs;
   R->ReqBytes += Size;
-  ++Stats.TotalAllocs;
-  Stats.TotalRequestedBytes += Size;
-  Stats.LiveRequestedBytes += Size;
-  if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
-    Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
-  if (R->ReqBytes > Stats.MaxRegionBytes)
-    Stats.MaxRegionBytes = R->ReqBytes;
   return Base + sizeof(ScanThunk);
 }
 
-void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk) {
-  std::size_t Total = detail::kLargePayloadOff + alignTo(Size,
-                                                         kDefaultAlignment);
+void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
+                                bool Zeroed) {
+  std::size_t Aligned = alignTo(Size, kDefaultAlignment);
+  if (Aligned < Size ||
+      Aligned > SIZE_MAX - detail::kLargePayloadOff - kPageSize)
+    reportFatalError("region allocation size overflows");
+  std::size_t Total = detail::kLargePayloadOff + Aligned;
   std::size_t NumPages = alignTo(Total, kPageSize) / kPageSize;
-  char *Block = static_cast<char *>(Source.allocPages(NumPages));
+  bool PagesZeroed = false;
+  char *Block = static_cast<char *>(Source.allocPages(NumPages, &PagesZeroed));
   *headerOf(Block) = {R->LargeHead,
                       static_cast<std::uint32_t>(detail::kLargeThunkOff),
                       PageKind::Large, 0};
@@ -163,20 +157,32 @@ void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk) {
       NumPages;
   *reinterpret_cast<ScanThunk *>(Block + detail::kLargeThunkOff) = Thunk;
   setMapRange(Block, NumPages, R);
-  if (Thunk && Cfg.ZeroMemory)
-    std::memset(Block + detail::kLargePayloadOff, 0,
-                alignTo(Size, kDefaultAlignment));
+  if ((Zeroed || (Thunk && Cfg.ZeroMemory)) && !PagesZeroed)
+    std::memset(Block + detail::kLargePayloadOff, 0, Aligned);
 
   ++R->NumAllocs;
   R->ReqBytes += Size;
-  ++Stats.TotalAllocs;
-  Stats.TotalRequestedBytes += Size;
-  Stats.LiveRequestedBytes += Size;
-  if (Stats.LiveRequestedBytes > Stats.MaxLiveRequestedBytes)
-    Stats.MaxLiveRequestedBytes = Stats.LiveRequestedBytes;
-  if (R->ReqBytes > Stats.MaxRegionBytes)
-    Stats.MaxRegionBytes = R->ReqBytes;
   return Block + detail::kLargePayloadOff;
+}
+
+const RegionStats &RegionManager::stats() const {
+  RegionStats Agg = Stats;
+  std::uint64_t LiveBytes = 0;
+  for (const Region *R = LiveHead; R; R = R->NextLive) {
+    Agg.TotalAllocs += R->NumAllocs;
+    Agg.TotalRequestedBytes += R->ReqBytes;
+    LiveBytes += R->ReqBytes;
+    if (R->ReqBytes > Agg.MaxRegionBytes)
+      Agg.MaxRegionBytes = R->ReqBytes;
+  }
+  Agg.LiveRequestedBytes = LiveBytes;
+  if (LiveBytes > Agg.MaxLiveRequestedBytes)
+    Agg.MaxLiveRequestedBytes = LiveBytes;
+  // Persist the sampled watermarks so later folds build on them.
+  Stats.MaxLiveRequestedBytes = Agg.MaxLiveRequestedBytes;
+  Stats.MaxRegionBytes = Agg.MaxRegionBytes;
+  StatsSnapshot = Agg;
+  return StatsSnapshot;
 }
 
 void RegionManager::runCleanups(Region *R) {
@@ -205,7 +211,19 @@ void RegionManager::runCleanups(Region *R) {
 }
 
 void RegionManager::freeRegionMemory(Region *R) {
-  Stats.LiveRequestedBytes -= R->ReqBytes;
+  // Fold the dying region's deferred per-allocation counters into the
+  // global view. Live bytes only ever decrease here, so sampling the
+  // watermark just before the drop observes every peak exactly as
+  // eager per-allocation accounting would.
+  std::uint64_t LiveBytes = 0;
+  for (const Region *L = LiveHead; L; L = L->NextLive)
+    LiveBytes += L->ReqBytes;
+  if (LiveBytes > Stats.MaxLiveRequestedBytes)
+    Stats.MaxLiveRequestedBytes = LiveBytes;
+  Stats.TotalAllocs += R->NumAllocs;
+  Stats.TotalRequestedBytes += R->ReqBytes;
+  if (R->ReqBytes > Stats.MaxRegionBytes)
+    Stats.MaxRegionBytes = R->ReqBytes;
   --Stats.LiveRegions;
   if (R->PrevLive)
     R->PrevLive->NextLive = R->NextLive;

@@ -36,6 +36,7 @@
 
 #include "region/PageMap.h"
 #include "support/Align.h"
+#include "support/Compiler.h"
 #include "support/PageSource.h"
 
 #include <cassert>
@@ -84,6 +85,15 @@ struct SafetyConfig {
 /// Counters for the paper's tables and cost breakdowns. All sizes are
 /// programmer-requested bytes (headers and page slack excluded); the
 /// OS-level number is RegionManager::osBytes().
+///
+/// Per-allocation counters (TotalAllocs, TotalRequestedBytes, the live/
+/// max byte watermarks and MaxRegionBytes) are maintained *deferred*:
+/// the allocation fast path touches only region-local fields, and the
+/// global view is folded together when a region is deleted and on
+/// demand in RegionManager::stats(). The values stats() reports are
+/// identical to eager per-allocation accounting — live bytes only ever
+/// drop at region deletion, so sampling the watermarks there and at
+/// stats() time observes every peak.
 struct RegionStats {
   std::uint64_t TotalAllocs = 0;
   std::uint64_t TotalRequestedBytes = 0;
@@ -155,6 +165,13 @@ namespace detail {
 
 enum class PageKind : std::uint16_t { Normal, Str, Large };
 
+/// Page flag: every byte from the current bump offset to the end of the
+/// page reads as zero. Set when the page arrived zeroed from the OS (or
+/// was bulk-cleared on refill); lets the allocation fast path skip both
+/// the per-object memset and the explicit end marker — the next header
+/// slot is already the NULL the Figure-7 scan stops at.
+inline constexpr std::uint16_t kPageZeroTail = 1;
+
 /// Prefix of every page handed to a region. 16 bytes, covering the
 /// paper's "eight bytes per page for the map of pages to regions and
 /// the list of allocated pages" bookkeeping role.
@@ -162,9 +179,20 @@ struct PageHeader {
   char *Next;              ///< older page in the same list
   std::uint32_t ScanStart; ///< offset of the first object header
   PageKind Kind;
-  std::uint16_t Pad;
+  std::uint16_t Flags;     ///< kPageZeroTail
 };
 static_assert(sizeof(PageHeader) == 16, "page header layout");
+
+inline PageHeader *headerOf(char *Page) {
+  return reinterpret_cast<PageHeader *>(Page);
+}
+
+/// Writes the NULL end marker the region scan stops at (Figure 7), if
+/// there is room for another object header on the page.
+inline void writeEndMarker(char *Page, std::uint32_t Offset) {
+  if (Offset + sizeof(ScanThunk) <= kPageSize)
+    *reinterpret_cast<ScanThunk *>(Page + Offset) = nullptr;
+}
 
 /// Large-object block: [PageHeader][NumPages][ScanThunk][payload...].
 inline constexpr std::size_t kLargeNumPagesOff = sizeof(PageHeader);
@@ -195,13 +223,23 @@ public:
 
   /// Allocates \p Size bytes of pointer-free storage in \p R (paper:
   /// rstralloc). The memory is uninitialized, has no per-object header,
-  /// and is never scanned on deletion.
+  /// and is never scanned on deletion. Inline fast path: the common
+  /// small allocation is a bounds test plus a bump of the region's
+  /// str list, with no global state touched.
   void *allocRaw(Region *R, std::size_t Size);
+
+  /// allocRaw, but the returned memory is guaranteed cleared. Cheaper
+  /// than allocRaw + memset: pages that arrive zeroed from the OS skip
+  /// the clear entirely.
+  void *allocRawZeroed(Region *R, std::size_t Size);
 
   /// Allocates \p Size bytes in \p R with cleanup \p Thunk (paper:
   /// ralloc/rarrayalloc). The memory is cleared when ZeroMemory is
   /// configured. \p Thunk must be non-null; it runs when the region is
   /// deleted with CleanupScan enabled and must return the payload size.
+  /// Inline fast path: on zero-tail pages the bump writes exactly one
+  /// word (the object's thunk) — payload clearing and the scan's end
+  /// marker are both implicit in the page's zero state.
   void *allocScanned(Region *R, std::size_t Size, ScanThunk Thunk);
 
   /// Attempts to delete \p R (paper: deleteregion(&r)).
@@ -234,9 +272,15 @@ public:
     Cfg = NewCfg;
   }
 
-  const RegionStats &stats() const { return Stats; }
+  /// Returns the aggregated statistics. Per-allocation counters are
+  /// kept region-local by the fast path and folded in here (and at
+  /// region deletion); the returned reference is a snapshot that stays
+  /// valid until the next stats() call but is not updated in place.
+  const RegionStats &stats() const;
 
-  /// Mutable statistics access (used by the write barrier).
+  /// Mutable access to the folded counters (used by the write barrier
+  /// and the deletion bookkeeping; per-allocation counters are deferred
+  /// and must not be adjusted here).
   RegionStats &statsMutable() { return Stats; }
 
   /// Bytes this manager has requested from the OS (Figure 8's metric).
@@ -253,7 +297,9 @@ public:
 
 private:
   char *newPage(Region *R, detail::PageKind Kind);
-  void *allocLarge(Region *R, std::size_t Size, ScanThunk Thunk);
+  void *allocRawSlow(Region *R, std::size_t Size, bool Zeroed);
+  void *allocScannedSlow(Region *R, std::size_t Size, ScanThunk Thunk);
+  void *allocLarge(Region *R, std::size_t Size, ScanThunk Thunk, bool Zeroed);
   void runCleanups(Region *R);
   void freeRegionMemory(Region *R);
   void setMapRange(const void *Page, std::size_t NumPages, Region *R);
@@ -261,10 +307,75 @@ private:
   PageSource Source;
   Region **Map = nullptr; ///< page index -> owning region
   SafetyConfig Cfg;
-  RegionStats Stats;
+  /// Folded counters: region-lifecycle and barrier stats are eager;
+  /// per-allocation stats cover *deleted* regions only (live regions'
+  /// shares are summed on demand). Mutable so the const stats() can
+  /// persist watermark samples.
+  mutable RegionStats Stats;
+  mutable RegionStats StatsSnapshot; ///< storage for stats()'s result
   Region *LiveHead = nullptr;
   unsigned NextRegionId = 0;
 };
+
+//===----------------------------------------------------------------------===//
+// Allocation fast paths (paper §4.1: "about 16 instructions")
+//===----------------------------------------------------------------------===//
+
+RGN_ALWAYS_INLINE void *RegionManager::allocRaw(Region *R, std::size_t Size) {
+  assert(R && R->Mgr == this && "region belongs to another manager");
+  Region::BumpList &B = R->Str;
+  std::size_t Need = alignTo(Size, kDefaultAlignment);
+  if (RGN_LIKELY(B.Head && Size <= kPageSize - sizeof(detail::PageHeader) &&
+                 B.Offset + Need <= kPageSize)) {
+    char *Result = B.Head + B.Offset;
+    B.Offset += static_cast<std::uint32_t>(Need);
+    ++R->NumAllocs;
+    R->ReqBytes += Size;
+    return Result;
+  }
+  return allocRawSlow(R, Size, /*Zeroed=*/false);
+}
+
+RGN_ALWAYS_INLINE void *RegionManager::allocRawZeroed(Region *R, std::size_t Size) {
+  assert(R && R->Mgr == this && "region belongs to another manager");
+  Region::BumpList &B = R->Str;
+  std::size_t Need = alignTo(Size, kDefaultAlignment);
+  if (RGN_LIKELY(B.Head && Size <= kPageSize - sizeof(detail::PageHeader) &&
+                 B.Offset + Need <= kPageSize)) {
+    char *Result = B.Head + B.Offset;
+    B.Offset += static_cast<std::uint32_t>(Need);
+    if (!(detail::headerOf(B.Head)->Flags & detail::kPageZeroTail))
+      std::memset(Result, 0, Need);
+    ++R->NumAllocs;
+    R->ReqBytes += Size;
+    return Result;
+  }
+  return allocRawSlow(R, Size, /*Zeroed=*/true);
+}
+
+RGN_ALWAYS_INLINE void *RegionManager::allocScanned(Region *R, std::size_t Size,
+                                         ScanThunk Thunk) {
+  assert(R && R->Mgr == this && "region belongs to another manager");
+  assert(Thunk && "scanned allocations need a cleanup thunk");
+  Region::BumpList &B = R->Normal;
+  std::size_t Payload = alignTo(Size, kDefaultAlignment);
+  std::size_t Need = sizeof(ScanThunk) + Payload;
+  if (RGN_LIKELY(B.Head && Size <= maxSmallAlloc() &&
+                 B.Offset + Need <= kPageSize)) {
+    char *Base = B.Head + B.Offset;
+    *reinterpret_cast<ScanThunk *>(Base) = Thunk;
+    B.Offset += static_cast<std::uint32_t>(Need);
+    if (!(detail::headerOf(B.Head)->Flags & detail::kPageZeroTail)) {
+      detail::writeEndMarker(B.Head, B.Offset);
+      if (Cfg.ZeroMemory)
+        std::memset(Base + sizeof(ScanThunk), 0, Payload);
+    }
+    ++R->NumAllocs;
+    R->ReqBytes += Size;
+    return Base + sizeof(ScanThunk);
+  }
+  return allocScannedSlow(R, Size, Thunk);
+}
 
 //===----------------------------------------------------------------------===//
 // Typed allocation interface (the C@-compiler role)
@@ -313,15 +424,19 @@ template <typename T, typename... Args> T *rnew(Region *R, Args &&...A) {
 
 /// Allocates and default-constructs \p N objects of type T in \p R
 /// (paper: rarrayalloc). Trivial element types are value-initialized
-/// (cleared), matching the paper's cleared rarrayalloc memory.
+/// (cleared), matching the paper's cleared rarrayalloc memory. A count
+/// whose byte size would overflow std::size_t is a fatal error rather
+/// than a silent under-allocation.
 template <typename T> T *rnewArray(Region *R, std::size_t N) {
   static_assert(detail::regionAllocatable<T>, "over-aligned type in region");
   RegionManager &M = R->manager();
   if constexpr (std::is_trivially_destructible_v<T>) {
-    void *Mem = M.allocRaw(R, N * sizeof(T));
-    std::memset(Mem, 0, N * sizeof(T));
-    return static_cast<T *>(Mem);
+    if (RGN_UNLIKELY(N > SIZE_MAX / sizeof(T)))
+      reportFatalError("rnewArray: array byte size overflows");
+    return static_cast<T *>(M.allocRawZeroed(R, N * sizeof(T)));
   } else {
+    if (RGN_UNLIKELY(N > (SIZE_MAX - sizeof(std::size_t)) / sizeof(T)))
+      reportFatalError("rnewArray: array byte size overflows");
     void *Mem = M.allocScanned(R, sizeof(std::size_t) + N * sizeof(T),
                                &detail::scanArrayThunk<T>);
     *static_cast<std::size_t *>(Mem) = N;

@@ -45,6 +45,14 @@ namespace detail {
 /// global-write path; a slot within a region gets the sameregion test.
 inline void barrierAssign(void **Slot, void *NewVal) {
   void *OldVal = *Slot;
+  // Null over null — the default-construct / destroy-empty pattern —
+  // involves no region and, as in the seed's both-null early exit,
+  // records nothing; skip the regionOf lookups entirely.
+  if ((reinterpret_cast<std::uintptr_t>(OldVal) |
+       reinterpret_cast<std::uintptr_t>(NewVal)) == 0) {
+    *Slot = NewVal;
+    return;
+  }
   Region *OldR = regionOf(OldVal);
   Region *NewR = regionOf(NewVal);
   *Slot = NewVal;

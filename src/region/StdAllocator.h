@@ -57,6 +57,8 @@ public:
       : R(Other.region()) {}
 
   T *allocate(std::size_t N) {
+    if (N > SIZE_MAX / sizeof(T))
+      reportFatalError("RegionStdAllocator: allocation size overflows");
     return static_cast<T *>(R->manager().allocRaw(R, N * sizeof(T)));
   }
 

@@ -21,6 +21,11 @@
 #define RGN_LIKELY(x) (__builtin_expect(!!(x), 1))
 #define RGN_UNLIKELY(x) (__builtin_expect(!!(x), 0))
 
+/// Forces inlining of hot-path functions the compiler's size heuristics
+/// would otherwise outline (the allocation fast path must stay a
+/// handful of instructions at every call site, per the paper's §4.1).
+#define RGN_ALWAYS_INLINE inline __attribute__((always_inline))
+
 namespace regions {
 
 /// Prints \p Msg to stderr and aborts. Used for unrecoverable runtime

@@ -26,11 +26,15 @@ PageSource::~PageSource() {
     munmap(ArenaBase, TotalPages * kPageSize);
 }
 
-void *PageSource::allocPages(std::size_t NumPages) {
+void *PageSource::allocPages(std::size_t NumPages, bool *Zeroed) {
   assert(NumPages > 0 && "cannot allocate an empty page run");
   PagesInUse += NumPages;
+  if (Zeroed)
+    *Zeroed = false; // recycled paths below hand out dirty pages
 
-  // Exact-size bin hit.
+  // Single-page recycle cache, then the exact-size bin.
+  if (NumPages == 1 && NumCachedPages != 0)
+    return pageAt(PageCache[--NumCachedPages]);
   if (NumPages <= kMaxBin && !Bins[NumPages].empty()) {
     std::uint32_t Idx = Bins[NumPages].back();
     Bins[NumPages].pop_back();
@@ -59,11 +63,16 @@ void *PageSource::allocPages(std::size_t NumPages) {
     return pageAt(Idx);
   }
 
-  // Grow the frontier.
+  // Grow the frontier. Pages past the all-time high-water mark were
+  // never handed out, so MAP_ANONYMOUS still guarantees them zeroed.
   if (Frontier + NumPages > TotalPages)
     reportFatalError("PageSource: arena exhausted; raise the reserve size");
   std::size_t Idx = Frontier;
   Frontier += NumPages;
+  if (Zeroed)
+    *Zeroed = Idx >= ZeroHighWater;
+  if (Frontier > ZeroHighWater)
+    ZeroHighWater = Frontier;
   return pageAt(Idx);
 }
 
@@ -75,6 +84,10 @@ void PageSource::freePages(void *Ptr, std::size_t NumPages) {
   PagesInUse -= NumPages;
 
   auto Idx = static_cast<std::uint32_t>(pageIndex(Ptr));
+  if (NumPages == 1 && NumCachedPages != kPageCacheCap) {
+    PageCache[NumCachedPages++] = Idx;
+    return;
+  }
   if (NumPages <= kMaxBin) {
     Bins[NumPages].push_back(Idx);
     return;
@@ -83,8 +96,11 @@ void PageSource::freePages(void *Ptr, std::size_t NumPages) {
 }
 
 void PageSource::resetForTesting() {
+  // ZeroHighWater deliberately survives: resetting rewinds the
+  // bookkeeping, not the contents already written to the arena.
   Frontier = 0;
   PagesInUse = 0;
+  NumCachedPages = 0;
   for (auto &Bin : Bins)
     Bin.clear();
   LargeRuns.clear();

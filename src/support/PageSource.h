@@ -17,6 +17,14 @@
 /// frontier is the Figure-8 "OS" number: like the real allocators in the
 /// paper, a PageSource never returns memory to the operating system.
 ///
+/// Zero-state: pages handed out from beyond the frontier high-water mark
+/// have never been touched, so MAP_ANONYMOUS guarantees they read as
+/// zero; allocPages reports this so clients (the region allocator's
+/// ZeroMemory path) can skip clearing them. Recycled pages are flagged
+/// dirty rather than re-zeroed. Single-page runs — the overwhelmingly
+/// common case for region pages — recycle through a small inline cache
+/// in front of the bins, avoiding the vector round-trip.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_PAGESOURCE_H
@@ -45,8 +53,10 @@ public:
 
   /// Allocates a contiguous run of \p NumPages pages. Never returns
   /// null: address-space exhaustion is a fatal error (the experiments
-  /// size their arenas generously).
-  void *allocPages(std::size_t NumPages);
+  /// size their arenas generously). When \p Zeroed is non-null, it is
+  /// set to true iff the entire run is known to read as zero (fresh,
+  /// never-recycled pages); recycled pages report false.
+  void *allocPages(std::size_t NumPages, bool *Zeroed = nullptr);
 
   /// Returns a page run previously obtained from allocPages to the free
   /// lists. The memory stays counted in osBytes(), matching how the
@@ -83,13 +93,21 @@ public:
 
   /// Resets all bookkeeping and hands back the entire arena as fresh.
   /// Only for tests and between-benchmark isolation; outstanding
-  /// pointers become invalid.
+  /// pointers become invalid. Pages the pre-reset run already touched
+  /// stay flagged dirty: the arena's contents are not rewound.
   void resetForTesting();
+
+  /// Number of single pages currently held in the inline recycle cache
+  /// (exposed for tests).
+  std::size_t cachedSinglePages() const { return NumCachedPages; }
 
 private:
   /// Free runs are binned by exact length up to kMaxBin; longer runs go
   /// to the overflow list and are carved first-fit.
   static constexpr std::size_t kMaxBin = 16;
+
+  /// Inline recycle cache for single-page runs, tried before Bins[1].
+  static constexpr std::size_t kPageCacheCap = 64;
 
   struct Run {
     std::uint32_t PageIdx;
@@ -104,6 +122,9 @@ private:
   std::size_t TotalPages = 0;
   std::size_t Frontier = 0;   ///< pages [0, Frontier) have been handed out
   std::size_t PagesInUse = 0; ///< currently allocated pages
+  std::size_t ZeroHighWater = 0; ///< pages >= this index were never touched
+  std::size_t NumCachedPages = 0;
+  std::uint32_t PageCache[kPageCacheCap]; ///< recycled single pages (LIFO)
   std::vector<std::uint32_t> Bins[kMaxBin + 1]; ///< Bins[n]: runs of n pages
   std::vector<Run> LargeRuns; ///< runs longer than kMaxBin pages
 };

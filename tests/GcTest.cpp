@@ -242,4 +242,43 @@ TEST_F(GcTest, StressRandomGraphStaysConsistent) {
   Heap.removeRootRange(Roots);
 }
 
+#if defined(__x86_64__)
+
+/// Overlays (and zeroes) the stack area where a popped callee's frame —
+/// and any spilled copy of its return value — may linger.
+__attribute__((noinline)) void scrubStackResidue() {
+  volatile char Junk[8192];
+  for (std::size_t I = 0; I != sizeof(Junk); ++I)
+    Junk[I] = 0;
+}
+
+__attribute__((noinline)) void *allocOffStack(GcHeap &Heap) {
+  return Heap.malloc(48);
+}
+
+/// A pointer whose only live copy sits in a callee-saved register must
+/// survive collection. The stack scan spills registers into a jmp_buf
+/// local; the scanned range has to include that jmp_buf (it lies below
+/// __builtin_frame_address(0), so scanning from the frame pointer
+/// silently drops every register root).
+///
+/// The register must be one that neither collect() nor markFromRoots()
+/// saves in its prologue — a prologue push of r12/r13 lands above the
+/// collector's frame pointer and rescues the root even with the broken
+/// scan range. r15 is spilled by neither at -O2, so only the jmp_buf
+/// holds it during the scan.
+TEST(GcStackScanTest, CalleeSavedRegisterIsARoot) {
+  GcHeap Heap(std::size_t{1} << 26);
+  Heap.captureStackBottom();
+  register void *Keep asm("r15") = allocOffStack(Heap);
+  asm volatile("" : "+r"(Keep)); // pin the pointer into r15
+  scrubStackResidue();           // erase any stale stack copies
+  Heap.collect();
+  asm volatile("" : "+r"(Keep)); // r15 stays live across collect()
+  EXPECT_TRUE(Heap.isLiveObject(Keep))
+      << "object referenced only from a callee-saved register was swept";
+}
+
+#endif // __x86_64__
+
 } // namespace

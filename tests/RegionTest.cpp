@@ -378,4 +378,107 @@ TEST_F(RegionTest, DeleteRegionRawNullsHandle) {
   EXPECT_EQ(R, nullptr);
 }
 
+//===----------------------------------------------------------------------===//
+// Figure 7 scan termination
+//===----------------------------------------------------------------------===//
+
+/// Padded to make header + object exactly 40 bytes, so 102 of them fill
+/// a page's usable area to the last byte (no room for an end marker).
+struct TrackedPad {
+  explicit TrackedPad(int *Counter) : Counter(Counter) {}
+  ~TrackedPad() {
+    if (Counter)
+      ++*Counter;
+  }
+  int *Counter;
+  char Pad[32 - sizeof(int *)];
+};
+
+TEST_F(RegionTest, ScanTerminatesOnExactlyFullPage) {
+  constexpr std::size_t kSlotBytes =
+      sizeof(ScanThunk) + alignTo(sizeof(TrackedPad), kDefaultAlignment);
+  constexpr std::size_t kUsable = kPageSize - sizeof(detail::PageHeader);
+  static_assert(kUsable % kSlotBytes == 0,
+                "objects must fill the page exactly for this test");
+  constexpr std::size_t kPerPage = kUsable / kSlotBytes;
+
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  // Region structure occupies part of the first page; spill onto a
+  // second page and fill it to the brim so the scan has no marker slot.
+  for (std::size_t I = 0; I != 2 * kPerPage; ++I)
+    rnew<TrackedPad>(R, &Count);
+  std::size_t Before = Mgr.stats().CleanupThunksRun;
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, static_cast<int>(2 * kPerPage))
+      << "scan must stop at the page boundary, not run past it";
+  EXPECT_EQ(Mgr.stats().CleanupThunksRun, Before + 2 * kPerPage);
+}
+
+TEST_F(RegionTest, ScanTerminatesOnPartialPage) {
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  for (int I = 0; I != 5; ++I)
+    rnew<Tracked>(R, &Count);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 5) << "scan must stop at the end marker";
+}
+
+TEST_F(RegionTest, ScanTerminatesOnRecycledDirtyPages) {
+  // Dirty a batch of pages with non-zero garbage, then return them to
+  // the page source. The next region's normal pages are recycled and
+  // carry stale bytes, so termination must come from explicit end
+  // markers (or the bulk clear), never from leftover data.
+  Region *Dirty = Mgr.newRegion();
+  for (int I = 0; I != 64; ++I)
+    std::memset(Mgr.allocRaw(Dirty, 1000), 0xab, 1000);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(Dirty));
+
+  Region *R = Mgr.newRegion();
+  int Count = 0;
+  for (int I = 0; I != 300; ++I) // spans pages, last one partial
+    rnew<Tracked>(R, &Count);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Count, 300);
+}
+
+TEST_F(RegionTest, ScannedMemoryIsZeroedOnRecycledPages) {
+  Region *Dirty = Mgr.newRegion();
+  for (int I = 0; I != 16; ++I)
+    std::memset(Mgr.allocRaw(Dirty, 4000), 0xcd, 4000);
+  ASSERT_TRUE(Mgr.deleteRegionRaw(Dirty));
+
+  Region *R = Mgr.newRegion();
+  for (int I = 0; I != 200; ++I) {
+    auto *P = static_cast<unsigned char *>(
+        Mgr.allocScanned(R, 48, detail::scanThunk<Tracked>));
+    for (int J = 0; J != 48; ++J)
+      ASSERT_EQ(P[J], 0u) << "stale byte at offset " << J;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation-size overflow
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegionTest, ArrayCountOverflowIsFatalTrivial) {
+  Region *R = Mgr.newRegion();
+  EXPECT_DEATH(rnewArray<std::uint64_t>(R, SIZE_MAX / 4),
+               "rnewArray: array byte size overflows");
+}
+
+TEST_F(RegionTest, ArrayCountOverflowIsFatalNonTrivial) {
+  Region *R = Mgr.newRegion();
+  EXPECT_DEATH(rnewArray<Tracked>(R, SIZE_MAX / 8),
+               "rnewArray: array byte size overflows");
+}
+
+TEST_F(RegionTest, HugeButNonOverflowingAllocationIsFatal) {
+  // Sizes that survive the multiplication but would wrap when rounded
+  // up to pages must also die cleanly rather than under-allocate.
+  Region *R = Mgr.newRegion();
+  EXPECT_DEATH(Mgr.allocRaw(R, SIZE_MAX - 64),
+               "region allocation size overflows");
+}
+
 } // namespace

@@ -214,6 +214,62 @@ TEST(PageSourceTest, ManyAllocFreeCyclesStayBounded) {
   EXPECT_LE(S.osBytes(), 16 * kPageSize);
 }
 
+TEST(PageSourceTest, FreshPagesReportZeroed) {
+  PageSource S(1 << 20);
+  bool Zeroed = false;
+  auto *P = static_cast<unsigned char *>(S.allocPages(2, &Zeroed));
+  EXPECT_TRUE(Zeroed) << "frontier pages come from anonymous mappings";
+  for (std::size_t I = 0; I < 2 * kPageSize; I += 257)
+    ASSERT_EQ(P[I], 0u) << "stale byte at offset " << I;
+}
+
+TEST(PageSourceTest, RecycledPagesReportDirty) {
+  PageSource S(1 << 20);
+  void *P = S.allocPages(1);
+  std::memset(P, 0xee, kPageSize);
+  S.freePages(P, 1);
+  bool Zeroed = true;
+  void *Q = S.allocPages(1, &Zeroed);
+  EXPECT_EQ(Q, P);
+  EXPECT_FALSE(Zeroed) << "recycled pages must be reported dirty";
+  // The same holds for multi-page runs through the size bins.
+  void *Big = S.allocPages(4);
+  S.freePages(Big, 4);
+  Zeroed = true;
+  EXPECT_EQ(S.allocPages(4, &Zeroed), Big);
+  EXPECT_FALSE(Zeroed);
+}
+
+TEST(PageSourceTest, SinglePageCacheIsLifo) {
+  PageSource S(1 << 20);
+  void *A = S.allocPages(1);
+  void *B = S.allocPages(1);
+  void *C = S.allocPages(1);
+  S.freePages(A, 1);
+  S.freePages(B, 1);
+  S.freePages(C, 1);
+  EXPECT_EQ(S.cachedSinglePages(), 3u);
+  EXPECT_EQ(S.allocPages(1), C) << "most recently freed page reused first";
+  EXPECT_EQ(S.allocPages(1), B);
+  EXPECT_EQ(S.allocPages(1), A);
+  EXPECT_EQ(S.cachedSinglePages(), 0u);
+}
+
+TEST(PageSourceTest, ResetPreservesDirtyTracking) {
+  PageSource S(1 << 20);
+  void *P = S.allocPages(1);
+  std::memset(P, 0x5a, kPageSize);
+  S.resetForTesting();
+  EXPECT_EQ(S.inUseBytes(), 0u);
+  EXPECT_EQ(S.cachedSinglePages(), 0u);
+  // The rewound frontier hands back the same page, but its contents
+  // were never rewritten: it must not be reported zeroed.
+  bool Zeroed = true;
+  void *Q = S.allocPages(1, &Zeroed);
+  EXPECT_EQ(Q, P);
+  EXPECT_FALSE(Zeroed);
+}
+
 //===----------------------------------------------------------------------===//
 // Stopwatch
 //===----------------------------------------------------------------------===//

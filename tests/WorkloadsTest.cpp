@@ -168,4 +168,20 @@ TEST(DeterminismTest, RepeatRunsAreIdentical) {
   }
 }
 
+// Regression: the conservative collector must treat callee-saved
+// registers as roots. Under the timed wrapper the compiler is prone to
+// keeping the only copy of a live AST pointer in such a register
+// across the allocation that triggers the collection; a stack scan
+// that misses the register spill area sweeps the live subtree and the
+// compiler then walks a corrupted, self-referential AST.
+TEST(GcRootsTest, InstrumentedLccSurvivesMidParseCollections) {
+  WorkloadOptions Opt = smallOptions();
+  Opt.InstrumentMemoryTime = true;
+  RunResult R = runWorkload(WorkloadId::Lcc, BackendKind::Gc, Opt);
+  EXPECT_TRUE(R.Ok);
+  ASSERT_TRUE(R.HasGcStats);
+  EXPECT_GE(R.Gc.Collections, 1u)
+      << "workload too small to exercise a collection";
+}
+
 } // namespace
