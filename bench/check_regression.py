@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compares a fresh benchmark baseline against the committed one.
+
+Usage: check_regression.py baseline.json fresh.json [--threshold 0.15]
+
+Exits non-zero if any benchmark present in both files regressed by
+more than the threshold on its ns/op metric (ns_per_alloc or
+ns_per_op, whichever the suite records). Benchmarks that appear only
+on one side are reported but never fail the check — suites are allowed
+to grow and shrink. Comparisons across build types are refused: a
+debug-vs-release diff measures the compiler, not the change.
+"""
+
+import json
+import sys
+
+NS_KEYS = ("ns_per_alloc", "ns_per_op")
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for r in data.get("results", []):
+        for key in NS_KEYS:
+            if key in r:
+                rows[r["name"]] = r[key]
+                break
+    return data, rows
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    threshold = 0.15
+    argv = sys.argv[1:]
+    if "--threshold" in argv:
+        threshold = float(argv[argv.index("--threshold") + 1])
+    base_path, fresh_path = args[0], args[1]
+
+    base_data, base = load(base_path)
+    fresh_data, fresh = load(fresh_path)
+
+    base_bt = base_data.get("context", {}).get("build_type")
+    fresh_bt = fresh_data.get("context", {}).get("build_type")
+    # Baselines predating build-type recording compare as unknown.
+    if base_bt and fresh_bt and base_bt != fresh_bt:
+        print(
+            f"error: build types differ ({base_bt} vs {fresh_bt}); "
+            "refusing to compare"
+        )
+        return 2
+
+    suite = fresh_data.get("benchmark", "?")
+    failures = []
+    print(f"{suite}: comparing {len(fresh)} fresh vs {len(base)} baseline "
+          f"(threshold +{threshold:.0%})")
+    for name in sorted(set(base) | set(fresh)):
+        if name not in base:
+            print(f"  {name:<32} new benchmark, no baseline")
+            continue
+        if name not in fresh:
+            print(f"  {name:<32} dropped from suite")
+            continue
+        b, f = base[name], fresh[name]
+        delta = (f - b) / b if b else 0.0
+        flag = ""
+        if delta > threshold:
+            flag = "  REGRESSION"
+            failures.append(name)
+        print(f"  {name:<32} {b:>9.3f} -> {f:>9.3f} ns "
+              f"({delta:+.1%}){flag}")
+
+    if failures:
+        print(f"{suite}: {len(failures)} regression(s) beyond "
+              f"{threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"{suite}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Distils a Google Benchmark JSON report into a committed baseline.
+
+Usage: distil_benchmarks.py raw.json out.json <suite> <build-type> <ns-key>
+
+One record per benchmark: real time plus ns/op (items-per-second
+inverted, stored under <ns-key> to match the suite's historical field
+name). The context records the *binary's* build type as passed in by
+run_benchmarks.sh from CMakeCache.txt — the benchmark library's own
+"library_build_type" only describes libbenchmark and is ignored.
+"""
+
+import json
+import sys
+
+# Which safety configuration each benchmark exercises (Figure 11's
+# axis). Benchmarks not listed default to "safe" for barrier-suite
+# names (every barrier benchmark runs a safe manager unless named
+# otherwise) and "unsafe" for the allocation suite.
+CONFIG = {
+    "BM_RegionAlloc": "unsafe",
+    "BM_RegionBulkDelete": "unsafe",
+    "BM_RegionAllocSafe": "safe",
+    "BM_RegionAllocSafeRaw": "safe",
+    "BM_RegionAllocZeroedRaw": "safe",
+    "BM_RegionOf": "safe",
+    "BM_RegionOfAlternatingArenas": "safe",
+    "BM_RawPointerStore": "none",
+    "BM_SameRegionPtrStore": "safe",
+}
+
+
+def main():
+    raw_path, out_path, suite, build_type, ns_key = sys.argv[1:6]
+    with open(raw_path) as f:
+        report = json.load(f)
+
+    results = []
+    for b in report.get("benchmarks", []):
+        name = b["name"].split("/")[0]
+        default = "unsafe" if suite == "micro_alloc" else "safe"
+        entry = {
+            "name": name,
+            "config": CONFIG.get(name, default),
+            "real_time_ns": round(b["real_time"], 3),
+        }
+        ips = b.get("items_per_second")
+        if ips:
+            entry[ns_key] = round(1e9 / ips, 4)
+        results.append(entry)
+
+    out = {
+        "benchmark": suite,
+        "context": {
+            k: report["context"].get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu")
+        },
+        "results": results,
+    }
+    out["context"]["build_type"] = build_type
+    if build_type not in ("Release", "RelWithDebInfo"):
+        out["context"]["warning"] = "unoptimized build; do not publish"
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(results)} benchmarks, {build_type})")
+
+    print(f"{'benchmark':<32} {'config':<7} {'ns/op':>9}")
+    for r in results:
+        ns = r.get(ns_key, r["real_time_ns"])
+        print(f"{r['name']:<32} {r['config']:<7} {ns:>9}")
+
+
+if __name__ == "__main__":
+    main()

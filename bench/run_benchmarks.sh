@@ -1,86 +1,90 @@
 #!/bin/sh
-# Regression harness for the allocation microbenchmarks.
+# Regression harness for the allocation and write-barrier
+# microbenchmarks.
 #
-# Runs bench/micro_alloc in JSON mode and distils the results into
-# BENCH_micro_alloc.json: one record per benchmark with ns/alloc
+# Configures and builds a Release tree (numbers from unoptimized
+# binaries are meaningless and have been published by accident before:
+# the build type now comes from CMakeCache.txt, not from whatever the
+# benchmark library claims), runs bench/micro_alloc and bench/barrier
+# in JSON mode, and distils the results into BENCH_micro_alloc.json /
+# BENCH_barrier.json: one record per benchmark with ns/op
 # (items-per-second inverted) so successive runs can be diffed by eye
 # or by CI. The safe/unsafe split mirrors the paper's Figure 11 axis.
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+# Usage: bench/run_benchmarks.sh [--check] [build-dir] [output-dir]
+#   --check    after measuring, compare against the committed
+#              BENCH_*.json baselines with bench/check_regression.py
+#              (>15% regression on any ns/op fails).
+#   build-dir  defaults to build-release (configured on demand).
+#   output-dir defaults to the repository root (i.e. refresh the
+#              committed baselines in place); under --check it defaults
+#              to a temporary directory so the committed baselines
+#              survive as the comparison reference.
+#
+# Publishing from a non-Release tree is refused; set ALLOW_DEBUG=1 to
+# override for local experiments (the JSON is then watermarked).
 set -eu
 
-BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_micro_alloc.json}
-BIN="$BUILD_DIR/bench/micro_alloc"
-
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
-  exit 1
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK=1
+  shift
 fi
 
-RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-build-release}
+if [ "$CHECK" = 1 ]; then
+  OUT_DIR=${2:-$(mktemp -d)}
+else
+  OUT_DIR=${2:-$REPO_DIR}
+fi
 
-"$BIN" --benchmark_format=json \
-       --benchmark_min_time=0.2 \
-       --benchmark_filter='BM_Region(Alloc|AllocSafe|AllocSafeRaw|AllocZeroedRaw|BulkDelete|Of.*)$' \
-       > "$RAW"
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "configuring $BUILD_DIR (Release)" >&2
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
 
-python3 - "$RAW" "$OUT" <<'PY'
-import json
-import sys
+# The build type the binaries were *actually* compiled with.
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+BUILD_TYPE=${BUILD_TYPE:-Debug}
+case "$BUILD_TYPE" in
+Release | RelWithDebInfo) ;;
+*)
+  if [ "${ALLOW_DEBUG:-0}" != "1" ]; then
+    echo "error: $BUILD_DIR is a '$BUILD_TYPE' tree; benchmark numbers" >&2
+    echo "from unoptimized builds must not be published. Use a Release" >&2
+    echo "build dir (default: build-release) or set ALLOW_DEBUG=1 to" >&2
+    echo "measure anyway (output will be watermarked)." >&2
+    exit 1
+  fi
+  echo "warning: publishing numbers from a '$BUILD_TYPE' build" >&2
+  ;;
+esac
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
-    report = json.load(f)
+cmake --build "$BUILD_DIR" --target micro_alloc barrier -j >/dev/null
 
-# Which configuration each benchmark exercises (Figure 11's axis).
-CONFIG = {
-    "BM_RegionAlloc": "unsafe",
-    "BM_RegionBulkDelete": "unsafe",
-    "BM_RegionAllocSafe": "safe",
-    "BM_RegionAllocSafeRaw": "safe",
-    "BM_RegionAllocZeroedRaw": "safe",
-    "BM_RegionOf": "safe",
-    "BM_RegionOfAlternatingArenas": "safe",
+run_one() {
+  # $1 binary name, $2 benchmark filter, $3 output json, $4 ns key
+  BIN="$BUILD_DIR/bench/$1"
+  RAW=$(mktemp)
+  "$BIN" --benchmark_format=json \
+         --benchmark_min_time=0.2 \
+         --benchmark_filter="$2" >"$RAW"
+  python3 "$REPO_DIR/bench/distil_benchmarks.py" \
+    "$RAW" "$OUT_DIR/$3" "$1" "$BUILD_TYPE" "$4"
+  rm -f "$RAW"
 }
 
-results = []
-for b in report.get("benchmarks", []):
-    name = b["name"].split("/")[0]
-    entry = {
-        "name": name,
-        "config": CONFIG.get(name, "unsafe"),
-        "real_time_ns": round(b["real_time"], 3),
-    }
-    ips = b.get("items_per_second")
-    if ips:
-        entry["ns_per_alloc"] = round(1e9 / ips, 4)
-    results.append(entry)
+run_one micro_alloc \
+  'BM_Region(Alloc|AllocSafe|AllocSafeRaw|AllocZeroedRaw|BulkDelete|Of.*)$' \
+  BENCH_micro_alloc.json ns_per_alloc
+run_one barrier 'BM_' BENCH_barrier.json ns_per_op
 
-out = {
-    "benchmark": "micro_alloc",
-    "context": {
-        k: report["context"].get(k)
-        for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
-    },
-    "results": results,
-}
-with open(out_path, "w") as f:
-    json.dump(out, f, indent=2)
-    f.write("\n")
-print(f"wrote {out_path} ({len(results)} benchmarks)")
-PY
-
-# Human-readable summary of the headline numbers.
-python3 - "$OUT" <<'PY'
-import json
-import sys
-
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-print(f"{'benchmark':<32} {'config':<7} {'ns/op':>9}")
-for r in data["results"]:
-    ns = r.get("ns_per_alloc", r["real_time_ns"])
-    print(f"{r['name']:<32} {r['config']:<7} {ns:>9}")
-PY
+if [ "$CHECK" = 1 ]; then
+  STATUS=0
+  for NAME in BENCH_micro_alloc.json BENCH_barrier.json; do
+    python3 "$REPO_DIR/bench/check_regression.py" \
+      "$REPO_DIR/$NAME" "$OUT_DIR/$NAME" || STATUS=1
+  done
+  exit $STATUS
+fi

@@ -50,6 +50,11 @@ public:
   static constexpr bool kIndividualFree = false;
 
   template <class T> using Ptr = RegionPtr<T>;
+  /// For pointer fields the workload can prove never leave their
+  /// region (intra-region list links, tree children): the statically
+  /// recognized sameregion pointers of §5.6. No barrier, no cleanup
+  /// thunk; debug builds assert containment on every store.
+  template <class T> using SamePtr = SameRegionPtr<T>;
   template <class T> using Local = rt::Ref<T>;
   using Frame = rt::Frame;
   using Token = rt::RegionHandle;
@@ -89,6 +94,13 @@ public:
   template <class T> void dispose(T *) {}
   template <class T> void disposeArray(T *, std::size_t) {}
 
+  /// Barrier-free store into a counted slot the workload proves lives
+  /// in \p Scope's region along with the old and new values (the
+  /// per-store sameregion elision; containment debug-asserted).
+  template <class T> void assignSame(Ptr<T> &Slot, T *New, Token &Scope) {
+    assignKnownRegion(Slot, New, Scope.get());
+  }
+
   /// Cache-trace hook for the Figure 10 harness.
   void touch(const void *P, std::size_t N, bool IsWrite = false) {
     if (Cache)
@@ -115,6 +127,7 @@ public:
   static constexpr bool kIndividualFree = true;
 
   template <class T> using Ptr = T *;
+  template <class T> using SamePtr = T *;
   template <class T> using Local = T *;
   struct Frame {}; ///< no shadow-stack bookkeeping
   struct Token {}; ///< scopes are no-ops
@@ -160,6 +173,10 @@ public:
       Malloc.free(P);
   }
 
+  template <class T> void assignSame(T *&Slot, T *New, Token &) {
+    Slot = New;
+  }
+
   void touch(const void *P, std::size_t N, bool IsWrite = false) {
     if (Cache)
       Cache->access(P, N, IsWrite);
@@ -181,6 +198,7 @@ public:
   static constexpr bool kIndividualFree = false;
 
   template <class T> using Ptr = T *;
+  template <class T> using SamePtr = T *;
   template <class T> using Local = T *;
   struct Frame {};
   using Token = EmuRegion *;
@@ -219,6 +237,10 @@ public:
 
   template <class T> void dispose(T *) {}
   template <class T> void disposeArray(T *, std::size_t) {}
+
+  template <class T> void assignSame(T *&Slot, T *New, Token &) {
+    Slot = New;
+  }
 
   void touch(const void *P, std::size_t N, bool IsWrite = false) {
     if (Cache)

@@ -33,6 +33,7 @@ public:
   static constexpr bool kIndividualFree = M::kIndividualFree;
 
   template <class T> using Ptr = typename M::template Ptr<T>;
+  template <class T> using SamePtr = typename M::template SamePtr<T>;
   template <class T> using Local = typename M::template Local<T>;
   using Frame = typename M::Frame;
   using Token = typename M::Token;
@@ -76,6 +77,12 @@ public:
   template <class T> void disposeArray(T *P, std::size_t N) {
     Timer Ti(Ns);
     Inner.disposeArray(P, N);
+  }
+
+  // Untimed like touch(): it replaces a plain pointer store, which the
+  // instrumentation never timed either.
+  template <class T> void assignSame(Ptr<T> &Slot, T *New, Token &Scope) {
+    Inner.assignSame(Slot, New, Scope);
   }
 
   void touch(const void *P, std::size_t N, bool IsWrite = false) {

@@ -217,8 +217,8 @@ void GcHeap::markFromRoots() {
   // The region runtime's shadow stack: locals registered through
   // rt::Ref are roots under every backend.
   auto &Stack = rt::RuntimeStack::current();
-  for (std::size_t I = 0, E = Stack.slotCount(); I != E; ++I)
-    markWord(reinterpret_cast<std::uintptr_t>(Stack.slotValue(I)));
+  for (const auto *N = Stack.slots(); N; N = N->Prev)
+    markWord(reinterpret_cast<std::uintptr_t>(*N->Addr));
 
   if (ScanMachineStack && StackBottom) {
     // Spill callee-saved registers into a jmp_buf on the stack, then

@@ -36,17 +36,18 @@ DeletionDiagnosis regions::diagnoseDeletion(Region *R,
   D.CountedRefs = R->referenceCount() - HandleInCount;
 
   // Unscanned-frame locals pointing into R (they would be found by the
-  // deletion-time scan or the transient top-frame count).
+  // deletion-time scan or the transient top-frame count). Unscanned
+  // slots are exactly the newest suffix of the intrusive list: scanned
+  // frames are always a bottom prefix of the stack.
   if (Cfg.StackScan) {
-    for (std::size_t I = Stack.scannedSlotCount(), E = Stack.slotCount();
-         I != E; ++I) {
-      void *const *Slot = Stack.slotAddress(I);
-      if (Slot == HandleSlot)
+    for (const auto *N = Stack.slots(); N && !N->Owner->Scanned;
+         N = N->Prev) {
+      if (N->Addr == HandleSlot)
         continue;
-      void *Value = Stack.slotValue(I);
+      void *Value = *N->Addr;
       if (regionOf(Value) != R)
         continue;
-      D.BlockingStackSlots.push_back(Slot);
+      D.BlockingStackSlots.push_back(N->Addr);
       D.BlockingStackValues.push_back(Value);
     }
   }

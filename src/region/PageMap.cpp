@@ -15,7 +15,7 @@ namespace detail {
 
 ArenaInfo GArenas[kMaxArenas];
 unsigned GNumArenas = 0;
-std::atomic<unsigned> GHotArena{0};
+std::atomic<const ArenaInfo *> GHotArena{GArenas};
 
 namespace {
 /// Guards registry mutation; regionOf reads without the lock, which is
@@ -30,7 +30,7 @@ void registerArena(const void *Base, std::size_t NumPages,
   if (GNumArenas == kMaxArenas)
     reportFatalError("too many live RegionManagers (arena registry full)");
   auto Addr = reinterpret_cast<std::uintptr_t>(Base);
-  GArenas[GNumArenas++] = {Addr, Addr + NumPages * kPageSize, Map};
+  GArenas[GNumArenas++] = {Addr, NumPages * kPageSize, Map};
 }
 
 void unregisterArena(const void *Base) {
@@ -40,10 +40,10 @@ void unregisterArena(const void *Base) {
     if (GArenas[I].Base != Addr)
       continue;
     GArenas[I] = GArenas[--GNumArenas];
-    // Clear the vacated slot so a stale hot-arena index can never match
-    // an address against the dead (possibly unmapped) arena.
+    // Clear the vacated slot so a stale hot-arena pointer can never
+    // match an address against the dead (possibly unmapped) arena.
     GArenas[GNumArenas] = {0, 0, nullptr};
-    GHotArena.store(0, std::memory_order_relaxed);
+    GHotArena.store(GArenas, std::memory_order_relaxed);
     return;
   }
   assert(false && "unregisterArena: arena was never registered");
@@ -52,8 +52,8 @@ void unregisterArena(const void *Base) {
 Region *regionOfSlow(std::uintptr_t Addr) {
   for (unsigned I = 0, E = GNumArenas; I != E; ++I) {
     const ArenaInfo &A = GArenas[I];
-    if (Addr - A.Base < A.End - A.Base) {
-      GHotArena.store(I, std::memory_order_relaxed);
+    if (Addr - A.Base < A.Size) {
+      GHotArena.store(&A, std::memory_order_relaxed);
       return A.Map[(Addr - A.Base) >> kPageShift];
     }
   }

@@ -36,10 +36,12 @@ class Region;
 
 namespace detail {
 
-/// One registered arena: [Base, End) plus its page-to-region map.
+/// One registered arena: [Base, Base + Size) plus its page-to-region
+/// map. Size is stored precomputed so the lookup fast path is a single
+/// subtraction and compare per address.
 struct ArenaInfo {
   std::uintptr_t Base;
-  std::uintptr_t End;
+  std::uintptr_t Size;
   Region *const *Map;
 };
 
@@ -48,10 +50,13 @@ inline constexpr unsigned kMaxArenas = 32;
 extern ArenaInfo GArenas[kMaxArenas];
 extern unsigned GNumArenas;
 
-/// Index of the most recently hit arena; regionOf's fast path probes it
-/// before falling back to the full registry scan. Relaxed atomic: a
+/// The most recently hit arena entry; regionOf's fast path probes it
+/// before falling back to the full registry scan. Points at GArenas[0]
+/// (all-zero while empty, so every probe misses) until a lookup hits.
+/// A pointer rather than an index: the probe setup is then a load of
+/// three adjacent words with no indexing arithmetic. Relaxed atomic: a
 /// stale value only costs a slow-path trip, never a wrong answer.
-extern std::atomic<unsigned> GHotArena;
+extern std::atomic<const ArenaInfo *> GHotArena;
 
 /// Registers \p Map for [Base, Base + NumPages*kPageSize). Fatal if the
 /// registry is full. Called by RegionManager construction.
@@ -67,15 +72,68 @@ Region *regionOfSlow(std::uintptr_t Addr);
 
 } // namespace detail
 
+namespace detail {
+
+/// A snapshot of the hot arena, for resolving several addresses with a
+/// single load of the registry state. The write barrier classifies up
+/// to three addresses (old value, new value, slot) per store; probing
+/// them through one snapshot replaces three independent hot-arena reads
+/// with one, and each lookup is then a subtraction, a bounds test, and
+/// a map load. A miss falls back to the registry scan, which refreshes
+/// the global hot-arena cache (but not this snapshot — a stale snapshot
+/// only costs slow-path trips, never a wrong answer).
+class ArenaProbe {
+public:
+  ArenaProbe() {
+    const ArenaInfo *Hot = GHotArena.load(std::memory_order_relaxed);
+    Base = Hot->Base;
+    Size = Hot->Size;
+    Map = Hot->Map;
+  }
+
+  Region *lookup(const void *Ptr) const {
+    auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+    if (Addr - Base < Size)
+      return Map[(Addr - Base) >> kPageShift];
+    if (!Addr)
+      return nullptr; // null is never in a region; skip the registry
+    return regionOfSlow(Addr);
+  }
+
+  /// Resolves two addresses with a single OR-combined bounds test. For
+  /// power-of-two arena sizes (the default reservation) the combined
+  /// test is exact; otherwise it can conservatively fail even when both
+  /// addresses are in range. Returns false on a miss without touching
+  /// the outputs — the caller falls back to per-address lookups, so a
+  /// conservative failure costs only speed, never correctness.
+  bool lookupBoth(const void *P1, const void *P2, Region *&R1,
+                  Region *&R2) const {
+    auto O1 = reinterpret_cast<std::uintptr_t>(P1) - Base;
+    auto O2 = reinterpret_cast<std::uintptr_t>(P2) - Base;
+    if ((O1 | O2) >= Size)
+      return false;
+    R1 = Map[O1 >> kPageShift];
+    R2 = Map[O2 >> kPageShift];
+    return true;
+  }
+
+private:
+  std::uintptr_t Base;
+  std::uintptr_t Size;
+  Region *const *Map;
+};
+
+} // namespace detail
+
 /// Returns the region containing \p Ptr, or nullptr if \p Ptr does not
 /// point into any live region's pages (stack, global, malloc or freed
 /// memory). Interior pointers resolve to their region, as in the paper.
 inline Region *regionOf(const void *Ptr) {
   auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
-  const detail::ArenaInfo &Hot =
-      detail::GArenas[detail::GHotArena.load(std::memory_order_relaxed)];
-  if (Addr - Hot.Base < Hot.End - Hot.Base)
-    return Hot.Map[(Addr - Hot.Base) >> kPageShift];
+  const detail::ArenaInfo *Hot =
+      detail::GHotArena.load(std::memory_order_relaxed);
+  if (Addr - Hot->Base < Hot->Size)
+    return Hot->Map[(Addr - Hot->Base) >> kPageShift];
   return detail::regionOfSlow(Addr);
 }
 

@@ -16,20 +16,69 @@ ParallelSpace::~ParallelSpace() {
   std::lock_guard<std::mutex> Guard(Lock);
   for (SharedRegion *S : Regions)
     delete S;
+  while (SharedRegion *S = FreePool) {
+    FreePool = S->NextFree;
+    delete S;
+  }
 }
 
 unsigned ParallelSpace::registerThread() {
   std::lock_guard<std::mutex> Guard(Lock);
+  if (!FreeTids.empty()) {
+    unsigned Tid = FreeTids.back();
+    FreeTids.pop_back();
+    return Tid;
+  }
   if (NextThread == kMaxThreads)
     reportFatalError("ParallelSpace: too many threads registered");
   return NextThread++;
 }
 
+void ParallelSpace::unregisterThread(unsigned Tid) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  assert(Tid < NextThread && "unregistering a slot that was never issued");
+  // Bank this thread's balances so the sums are unchanged when the
+  // index is reissued to a thread starting from zero. Regions in the
+  // free pool are already deleted; their counts are dead.
+  for (SharedRegion *S : Regions) {
+    if (Tid >= S->NumSlots)
+      continue; // already accumulating in Detached
+    std::int64_t Balance =
+        S->Local[Tid].Count.exchange(0, std::memory_order_relaxed);
+    if (Balance)
+      S->Detached.fetch_add(Balance, std::memory_order_relaxed);
+  }
+  FreeTids.push_back(Tid);
+}
+
 SharedRegion *ParallelSpace::share(Region *R) {
   assert(R && "sharing a null region");
-  auto *S = new SharedRegion();
-  S->R = R;
   std::lock_guard<std::mutex> Guard(Lock);
+  // Size the local-count array to the slot high-water mark (with a
+  // floor for shares that precede registration); indices issued later
+  // than that fold into Detached.
+  unsigned Want = NextThread > kMinCountSlots ? NextThread : kMinCountSlots;
+  SharedRegion *S = FreePool;
+  if (S) {
+    FreePool = S->NextFree;
+    S->NextFree = nullptr;
+    if (S->NumSlots < Want) {
+      delete[] S->Local;
+      S->Local = new SharedRegion::PaddedCount[Want];
+      S->NumSlots = Want;
+    } else {
+      for (unsigned I = 0; I != S->NumSlots; ++I)
+        S->Local[I].Count.store(0, std::memory_order_relaxed);
+    }
+    S->Detached.store(0, std::memory_order_relaxed);
+    S->Deleted = false;
+  } else {
+    S = new SharedRegion();
+    S->Local = new SharedRegion::PaddedCount[Want];
+    S->NumSlots = Want;
+  }
+  S->R = R;
+  S->Index = Regions.size();
   Regions.push_back(S);
   return S;
 }
@@ -38,21 +87,29 @@ bool ParallelSpace::tryDelete(SharedRegion *S) {
   std::lock_guard<std::mutex> Guard(Lock);
   if (S->Deleted)
     return false;
+  // Deletion is a count inspection: the calling thread's buffered
+  // barrier adjustments must be visible in the region counts first.
+  detail::flushPendingCounts();
   if (S->totalCount() != 0)
     return false;
-  Region *R = S->R;
-  bool Ok = R->manager().deleteRegionRaw(R);
-  assert(Ok && "shared deletion uses the unchecked single-thread path");
-  (void)Ok;
-  S->R = nullptr;
+  // The summed local counts agree, but the owning manager has the last
+  // word (counted references from its own heap, live stack locals). A
+  // refusal leaves the record live so a later attempt can succeed.
+  RegionManager &Mgr = S->R->manager();
+  if (!Mgr.deleteRegionRaw(S->R))
+    return false;
   S->Deleted = true;
+  // Swap-pop out of the live list and pool the record for reuse.
+  SharedRegion *Back = Regions.back();
+  Regions[S->Index] = Back;
+  Back->Index = S->Index;
+  Regions.pop_back();
+  S->NextFree = FreePool;
+  FreePool = S;
   return true;
 }
 
 std::size_t ParallelSpace::liveSharedRegions() const {
   std::lock_guard<std::mutex> Guard(Lock);
-  std::size_t Live = 0;
-  for (const SharedRegion *S : Regions)
-    Live += !S->Deleted;
-  return Live;
+  return Regions.size();
 }

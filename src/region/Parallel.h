@@ -24,6 +24,15 @@
 /// thread's count may go negative (it dropped references another
 /// thread created); only the sum matters.
 ///
+/// Local-count storage is sized per SharedRegion when share() runs (at
+/// least kMinCountSlots, at most the slot high-water mark), instead of
+/// a fixed kMaxThreads-wide array; threads whose slot index exceeds a
+/// region's array fold into one shared Detached counter, which is also
+/// where unregisterThread() banks an exiting thread's balances so its
+/// slot index can be reissued. SharedRegion records themselves are
+/// pooled: tryDelete returns the record to a free list that the next
+/// share() reuses.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REGION_PARALLEL_H
@@ -40,7 +49,16 @@
 namespace regions {
 namespace par {
 
+/// Cap on simultaneously registered threads (slot indices in flight);
+/// unregisterThread() recycles indices, so total thread count over a
+/// space's lifetime is unbounded.
 inline constexpr unsigned kMaxThreads = 32;
+
+/// Floor on a SharedRegion's local-count array. Regions shared before
+/// any thread registers (a common pattern: main shares, workers join)
+/// still get uncontended per-thread slots for the first
+/// kMinCountSlots thread indices.
+inline constexpr unsigned kMinCountSlots = 8;
 
 /// A region shared between threads, with per-thread local counts.
 class SharedRegion {
@@ -51,8 +69,8 @@ public:
   /// count. Only meaningful under the space's deletion lock (counts
   /// keep moving otherwise).
   std::int64_t totalCount() const {
-    std::int64_t Sum = 0;
-    for (unsigned I = 0; I != kMaxThreads; ++I)
+    std::int64_t Sum = Detached.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumSlots; ++I)
       Sum += Local[I].Count.load(std::memory_order_relaxed);
     return Sum;
   }
@@ -66,8 +84,18 @@ private:
     std::atomic<std::int64_t> Count{0};
   };
 
+  SharedRegion() = default;
+  ~SharedRegion() { delete[] Local; }
+
   Region *R = nullptr;
-  PaddedCount Local[kMaxThreads];
+  PaddedCount *Local = nullptr; ///< owned array of NumSlots entries
+  unsigned NumSlots = 0;
+  std::size_t Index = 0;           ///< position in the space's live list
+  SharedRegion *NextFree = nullptr; ///< free-list link while pooled
+  /// Catch-all count: threads whose slot index is outside Local, plus
+  /// the banked balances of unregistered threads. Contended in theory,
+  /// but only ever touched by late-joining threads beyond the array.
+  std::atomic<std::int64_t> Detached{0};
   bool Deleted = false;
 };
 
@@ -80,22 +108,33 @@ public:
   ParallelSpace &operator=(const ParallelSpace &) = delete;
   ~ParallelSpace();
 
-  /// Assigns the calling context a thread slot [0, kMaxThreads).
+  /// Assigns the calling context a thread slot [0, kMaxThreads),
+  /// reusing indices released by unregisterThread.
   unsigned registerThread();
+
+  /// Releases thread slot \p Tid: its balance in every live shared
+  /// region is folded into that region's detached count (the sums are
+  /// unchanged), and the index becomes reusable by a later
+  /// registerThread. The thread must make no further adjustments under
+  /// this index. Prefer the ThreadSlot RAII wrapper.
+  void unregisterThread(unsigned Tid);
 
   /// Wraps a region created by the calling thread's manager as shared.
   /// Creation synchronizes on the space lock (paper's requirement).
   /// The creating handle is not counted: like deleteregion's *x, the
-  /// creator transfers its reference into the space.
+  /// creator transfers its reference into the space. The returned
+  /// record is owned by the space and may be pooled for reuse after a
+  /// successful tryDelete — holding a SharedRegion* past that point is
+  /// a use-after-free in spirit even though the storage stays valid.
   SharedRegion *share(Region *R);
 
   /// Adjusts the calling thread's local count for \p S — no
   /// synchronization, no communication (paper's fast path).
   void addRef(SharedRegion *S, unsigned Tid) {
-    S->Local[Tid].Count.fetch_add(1, std::memory_order_relaxed);
+    countSlot(S, Tid).fetch_add(1, std::memory_order_relaxed);
   }
   void dropRef(SharedRegion *S, unsigned Tid) {
-    S->Local[Tid].Count.fetch_sub(1, std::memory_order_relaxed);
+    countSlot(S, Tid).fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// The paper's shared-slot write: atomically exchanges \p Slot to
@@ -117,18 +156,49 @@ public:
     return Old;
   }
 
-  /// Attempts to delete the shared region: synchronizes, sums the
-  /// local counts, and destroys the region iff the sum is zero.
-  /// The caller must guarantee the owning manager is quiescent.
+  /// Attempts to delete the shared region: synchronizes, flushes the
+  /// calling thread's buffered count adjustments (deletion is a count
+  /// inspection), sums the local counts, and destroys the region iff
+  /// the sum is zero and the owning manager agrees no other counted or
+  /// stack reference survives. On failure nothing changes and a later
+  /// attempt may succeed. The caller must guarantee the owning manager
+  /// is quiescent.
   bool tryDelete(SharedRegion *S);
 
   /// Number of shared regions not yet deleted (diagnostics).
   std::size_t liveSharedRegions() const;
 
 private:
+  /// Where thread \p Tid's adjustments to \p S accumulate: a private
+  /// padded slot when the index fits S's array, the shared detached
+  /// counter otherwise.
+  static std::atomic<std::int64_t> &countSlot(SharedRegion *S,
+                                              unsigned Tid) {
+    return Tid < S->NumSlots ? S->Local[Tid].Count : S->Detached;
+  }
+
   mutable std::mutex Lock;
-  std::vector<SharedRegion *> Regions;
-  unsigned NextThread = 0;
+  std::vector<SharedRegion *> Regions; ///< live shared regions only
+  std::vector<unsigned> FreeTids;      ///< recycled thread slots
+  SharedRegion *FreePool = nullptr;    ///< deleted records for reuse
+  unsigned NextThread = 0;             ///< slot high-water mark
+};
+
+/// RAII thread registration: registers on construction, folds the
+/// thread's balances and releases its slot on destruction.
+class ThreadSlot {
+public:
+  explicit ThreadSlot(ParallelSpace &S) : Space(S), Id(S.registerThread()) {}
+  ThreadSlot(const ThreadSlot &) = delete;
+  ThreadSlot &operator=(const ThreadSlot &) = delete;
+  ~ThreadSlot() { Space.unregisterThread(Id); }
+
+  unsigned tid() const { return Id; }
+  operator unsigned() const { return Id; }
+
+private:
+  ParallelSpace &Space;
+  unsigned Id;
 };
 
 } // namespace par

@@ -31,8 +31,55 @@ RegionManager::RegionManager(SafetyConfig Config, std::size_t ReserveBytes)
 }
 
 RegionManager::~RegionManager() {
+  // Buffered adjustments may hold pointers into this manager's regions;
+  // apply them while the arena is still mapped.
+  detail::flushPendingCounts();
   detail::unregisterArena(Source.base());
   std::free(Map);
+}
+
+thread_local RGN_CONSTINIT regions::detail::PendingCountBuffer
+    regions::detail::GPendingCounts;
+
+void regions::detail::PendingCountBuffer::flushSlow() {
+  // Tags must be nulled, not just the bitmask cleared: a deleted
+  // region's pages can be reissued to a new region at the same
+  // address, and a stale tag would then match it. Every deletion path
+  // flushes before freeing, so nulling here closes that ABA window.
+  unsigned Live = Occupied;
+  Occupied = 0;
+  while (Live) {
+    unsigned I = static_cast<unsigned>(__builtin_ctz(Live));
+    Live &= Live - 1;
+    Region *R = Rgn[I];
+    Rgn[I] = nullptr;
+    if (Delta[I] != 0)
+      R->rcAdd(Delta[I]);
+    Delta[I] = 0;
+  }
+}
+
+void regions::Region::spillBarrierPacked() {
+  std::uint64_t P = BarrierPacked;
+  BarrierPacked = 0;
+  BarrierStoresDelta += P & kBarrierFieldMask;
+  BarrierAdjustmentsDelta += (P >> kBarrierAdjShift) & kBarrierFieldMask;
+  BarrierSameRegionDelta += (P >> kBarrierSameShift) & kBarrierFieldMask;
+}
+
+void regions::detail::PendingCountBuffer::installSlow(unsigned I, Region *R,
+                                                      long long D) {
+  // Collision: the slot's current occupant loses its buffering — apply
+  // its delta directly and hand the slot to the newcomer. Distinct
+  // regions never share a page, so the tag compare in the caller is
+  // exact.
+  if (Region *Old = Rgn[I]) {
+    if (Delta[I] != 0)
+      Old->rcAdd(Delta[I]);
+  }
+  Rgn[I] = R;
+  Delta[I] = D;
+  Occupied |= 1u << I;
 }
 
 void RegionManager::setMapRange(const void *Page, std::size_t NumPages,
@@ -57,6 +104,7 @@ char *RegionManager::newPage(Region *R, PageKind Kind) {
   *headerOf(Page) = {List.Head, sizeof(PageHeader), Kind, Flags};
   List.Head = Page;
   List.Offset = sizeof(PageHeader);
+  List.ZeroTail = (Flags & kPageZeroTail) ? 1 : 0;
   setMapRange(Page, 1, R);
   if (Kind == PageKind::Normal && !(Flags & kPageZeroTail))
     writeEndMarker(Page, List.Offset);
@@ -80,10 +128,12 @@ Region *RegionManager::newRegion() {
   auto *R = ::new (Page + sizeof(PageHeader) + CacheOffset) Region();
   R->Mgr = this;
   R->Id = NextRegionId++;
+  R->CountRefs = Cfg.RefCounts;
   R->Normal.Head = Page;
   R->Normal.Offset = static_cast<std::uint32_t>(
       sizeof(PageHeader) + CacheOffset + alignTo(sizeof(Region),
                                                  kDefaultAlignment));
+  R->Normal.ZeroTail = (Flags & kPageZeroTail) ? 1 : 0;
   headerOf(Page)->ScanStart = R->Normal.Offset;
   if (!(Flags & kPageZeroTail))
     writeEndMarker(Page, R->Normal.Offset);
@@ -110,7 +160,7 @@ void *RegionManager::allocRawSlow(Region *R, std::size_t Size, bool Zeroed) {
   Region::BumpList &B = R->Str;
   char *Result = B.Head + B.Offset;
   B.Offset += static_cast<std::uint32_t>(Need);
-  if (Zeroed && !(headerOf(B.Head)->Flags & kPageZeroTail))
+  if (Zeroed && !B.ZeroTail)
     std::memset(Result, 0, Need);
   ++R->NumAllocs;
   R->ReqBytes += Size;
@@ -129,7 +179,7 @@ void *RegionManager::allocScannedSlow(Region *R, std::size_t Size,
   char *Base = B.Head + B.Offset;
   *reinterpret_cast<ScanThunk *>(Base) = Thunk;
   B.Offset += static_cast<std::uint32_t>(Need);
-  if (!(headerOf(B.Head)->Flags & kPageZeroTail)) {
+  if (!B.ZeroTail) {
     writeEndMarker(B.Head, B.Offset);
     if (Cfg.ZeroMemory)
       std::memset(Base + sizeof(ScanThunk), 0, Payload);
@@ -171,6 +221,9 @@ const RegionStats &RegionManager::stats() const {
   for (const Region *R = LiveHead; R; R = R->NextLive) {
     Agg.TotalAllocs += R->NumAllocs;
     Agg.TotalRequestedBytes += R->ReqBytes;
+    Agg.BarrierStores += R->barrierStores();
+    Agg.BarrierSameRegion += R->barrierSameRegion();
+    Agg.BarrierAdjustments += R->barrierAdjustments();
     LiveBytes += R->ReqBytes;
     if (R->ReqBytes > Agg.MaxRegionBytes)
       Agg.MaxRegionBytes = R->ReqBytes;
@@ -186,6 +239,7 @@ const RegionStats &RegionManager::stats() const {
 }
 
 void RegionManager::runCleanups(Region *R) {
+  std::uint64_t ThunksRun = 0;
   // Normal pages: walk object headers until the NULL marker (Figure 7).
   for (char *Page = R->Normal.Head; Page; Page = headerOf(Page)->Next) {
     std::uint32_t Off = headerOf(Page)->ScanStart;
@@ -195,7 +249,7 @@ void RegionManager::runCleanups(Region *R) {
         break;
       Off += sizeof(ScanThunk);
       std::size_t Used = Thunk(Page + Off);
-      ++Stats.CleanupThunksRun;
+      ++ThunksRun;
       Off += static_cast<std::uint32_t>(alignTo(Used, kDefaultAlignment));
     }
   }
@@ -206,8 +260,9 @@ void RegionManager::runCleanups(Region *R) {
     if (!Thunk)
       continue;
     Thunk(Block + detail::kLargePayloadOff);
-    ++Stats.CleanupThunksRun;
+    ++ThunksRun;
   }
+  Stats.CleanupThunksRun += ThunksRun;
 }
 
 void RegionManager::freeRegionMemory(Region *R) {
@@ -222,6 +277,9 @@ void RegionManager::freeRegionMemory(Region *R) {
     Stats.MaxLiveRequestedBytes = LiveBytes;
   Stats.TotalAllocs += R->NumAllocs;
   Stats.TotalRequestedBytes += R->ReqBytes;
+  Stats.BarrierStores += R->barrierStores();
+  Stats.BarrierSameRegion += R->barrierSameRegion();
+  Stats.BarrierAdjustments += R->barrierAdjustments();
   if (R->ReqBytes > Stats.MaxRegionBytes)
     Stats.MaxRegionBytes = R->ReqBytes;
   --Stats.LiveRegions;
@@ -260,9 +318,14 @@ void RegionManager::freeRegionMemory(Region *R) {
 }
 
 bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
-                                     bool HandleCounted) {
+                                     bool HandleCounted,
+                                     const rt::SlotNode *HandleNode) {
   assert(R && R->Mgr == this && "deleting a foreign or null region");
   ++Stats.DeleteAttempts;
+
+  // Deletion is a count inspection: buffered barrier adjustments must
+  // land before RC is compared against the handle's contribution.
+  detail::flushPendingCounts();
 
   if (Cfg.StackScan)
     rt::RuntimeStack::current().scanForDelete();
@@ -273,9 +336,9 @@ bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
     long long HandleContribution = 0;
     if (HandleCounted) {
       HandleContribution = Cfg.RefCounts ? 1 : 0;
-    } else if (HandleSlot && Cfg.StackScan) {
-      auto &Stack = rt::RuntimeStack::current();
-      if (Stack.locate(HandleSlot) == rt::RuntimeStack::SlotLocation::Scanned)
+    } else if (HandleNode && Cfg.StackScan) {
+      // A registered local handle: counted iff its frame is scanned.
+      if (rt::RuntimeStack::nodeScanned(HandleNode))
         HandleContribution = 1;
     }
     std::size_t TopRefs =

@@ -50,6 +50,10 @@ namespace regions {
 
 class RegionManager;
 
+namespace rt {
+struct SlotNode;
+} // namespace rt
+
 /// Cleanup header stored before every object in a normal page (the
 /// paper's \c cleanup_t). The thunk finalizes one object (running
 /// destructors, which decrement cross-region reference counts via
@@ -120,7 +124,9 @@ class Region {
 public:
   /// Current reference count: the number of counted external references
   /// (from other regions, global storage, and scanned stack frames).
-  long long referenceCount() const { return RC; }
+  /// Flushes the calling thread's buffered count adjustments first, so
+  /// the value observed is always the exact count.
+  long long referenceCount() const;
 
   /// The manager that owns this region.
   RegionManager &manager() const { return *Mgr; }
@@ -138,15 +144,63 @@ public:
   /// and the shadow-stack scan; exposed for tests and advanced clients.
   void rcAdd(long long Delta) { RC += Delta; }
 
+  /// Whether this region's manager maintains exact reference counts
+  /// (a creation-time copy of SafetyConfig::RefCounts, so the write
+  /// barrier never needs the manager's cache lines).
+  bool countsRefs() const { return CountRefs; }
+
+  /// The three barrier counters ride in one packed word so a store's
+  /// bookkeeping is a single read-modify-write: stores in bits [0,21),
+  /// count adjustments in [21,42), sameregion stores in [42,63). The
+  /// word spills into the wide Barrier*Delta fields every 2^19 stores —
+  /// before any field can saturate (adjustments grow at most twice per
+  /// store, so they stay under 2^20 between spills).
+  static constexpr unsigned kBarrierAdjShift = 21;
+  static constexpr unsigned kBarrierSameShift = 42;
+  static constexpr std::uint64_t kBarrierFieldMask = (1ull << 21) - 1;
+  static constexpr std::uint64_t kBarrierSpillMask = (1ull << 19) - 1;
+
+  /// Records one barrier event, pre-packed by the caller: 1 for the
+  /// store itself, plus (adjustments << kBarrierAdjShift) and
+  /// (sameregion << kBarrierSameShift). Deferred: lands on this
+  /// region's own counter and is folded into the manager's view at
+  /// stats()/deletion time.
+  void noteBarrierEvent(std::uint64_t Event) {
+    BarrierPacked += Event;
+    if (RGN_UNLIKELY((BarrierPacked & kBarrierSpillMask) == 0))
+      spillBarrierPacked();
+  }
+
+  /// Barrier bookkeeping for a store resolved as sameregion.
+  void noteSameRegionStore() {
+    noteBarrierEvent(1 + (1ull << kBarrierSameShift));
+  }
+
+  /// Barrier stores attributed to this region, spilled plus live.
+  std::uint64_t barrierStores() const {
+    return BarrierStoresDelta + (BarrierPacked & kBarrierFieldMask);
+  }
+  std::uint64_t barrierSameRegion() const {
+    return BarrierSameRegionDelta +
+           ((BarrierPacked >> kBarrierSameShift) & kBarrierFieldMask);
+  }
+  std::uint64_t barrierAdjustments() const {
+    return BarrierAdjustmentsDelta +
+           ((BarrierPacked >> kBarrierAdjShift) & kBarrierFieldMask);
+  }
+
 private:
   friend class RegionManager;
 
   /// One bump allocator (§4.1 Figure 4's struct allocator): newest page
   /// plus the offset at which to allocate within it. Pages are chained
-  /// through their PageHeader.
+  /// through their PageHeader. ZeroTail mirrors the head page's
+  /// kPageZeroTail flag so the allocation fast path never touches the
+  /// page header's cache line.
   struct BumpList {
     char *Head = nullptr;
     std::uint32_t Offset = 0;
+    std::uint32_t ZeroTail = 0;
   };
 
   long long RC = 0;
@@ -156,9 +210,21 @@ private:
   char *LargeHead = nullptr; ///< chain of large-object page runs
   std::size_t NumAllocs = 0;
   std::size_t ReqBytes = 0;
+  // Deferred write-barrier stats: the packed hot word (same cache line
+  // as CountRefs, the other field every barrier touches) plus the wide
+  // spill targets, folded like NumAllocs/ReqBytes.
+  std::uint64_t BarrierPacked = 0;
+  std::uint64_t BarrierStoresDelta = 0;
+  std::uint64_t BarrierSameRegionDelta = 0;
+  std::uint64_t BarrierAdjustmentsDelta = 0;
   Region *PrevLive = nullptr;
   Region *NextLive = nullptr;
   unsigned Id = 0;
+  bool CountRefs = false;
+
+  /// Moves the packed word's fields into the wide deltas. Out of line:
+  /// runs once per 2^19 stores.
+  void spillBarrierPacked();
 };
 
 namespace detail {
@@ -199,7 +265,123 @@ inline constexpr std::size_t kLargeNumPagesOff = sizeof(PageHeader);
 inline constexpr std::size_t kLargeThunkOff = kLargeNumPagesOff + 8;
 inline constexpr std::size_t kLargePayloadOff = kLargeThunkOff + 8;
 
+//===----------------------------------------------------------------------===//
+// Buffered exact counting
+//===----------------------------------------------------------------------===//
+
+/// A small per-thread buffer of pending ±1 reference-count adjustments.
+/// The write barrier deposits adjustments here instead of touching the
+/// region structures; repeated stores into the same few regions coalesce
+/// into one entry each. Counts only matter when a deletion inspects
+/// them, so the buffer is drained before *every* count inspection:
+/// deleteRegionImpl, ParallelSpace::tryDelete, Region::referenceCount(),
+/// and RegionManager teardown (which keeps the buffered Region pointers
+/// from dangling — regions die only through those paths).
+///
+/// Intentionally aggregate-initialized (no NSDMIs): the thread_local
+/// instance is zero-initialized statically, so access pays no TLS guard.
+struct PendingCountBuffer {
+  static constexpr unsigned kEntries = 8; ///< power of two: direct-mapped
+  Region *Rgn[kEntries];
+  long long Delta[kEntries];
+  unsigned Occupied; ///< bitmask of live entries
+
+  /// Applies every buffered adjustment and empties the buffer (entries
+  /// are cleared so a dead region's address can never tag-match a
+  /// later region reusing the same pages).
+  void flushSlow();
+
+  /// Evicts the colliding entry (applying its delta directly) and
+  /// installs \p R in slot \p I.
+  void installSlow(unsigned I, Region *R, long long D);
+};
+
+// constinit: guarantees static (zero) initialization, so cross-TU
+// accesses compile to direct TLS loads instead of calls through the
+// thread_local init-on-first-use wrapper.
+extern thread_local RGN_CONSTINIT PendingCountBuffer GPendingCounts;
+
+/// Deposits a ±1 adjustment for \p R into the calling thread's buffer.
+/// Direct-mapped on the region's page number (each region structure
+/// sits in its own first page): the hot repeated-store case is one tag
+/// compare and one add, with no scan. A collision evicts the previous
+/// entry by applying its delta directly — still correct, just
+/// uncoalesced for that region.
+RGN_ALWAYS_INLINE void pendingAddTo(PendingCountBuffer &B, Region *R,
+                                    long long D) {
+  unsigned I = static_cast<unsigned>(reinterpret_cast<std::uintptr_t>(R) >>
+                                     kPageShift) &
+               (PendingCountBuffer::kEntries - 1);
+  if (RGN_LIKELY(B.Rgn[I] == R)) {
+    B.Delta[I] += D;
+    return;
+  }
+  B.installSlow(I, R, D);
+}
+
+RGN_ALWAYS_INLINE void pendingCountAdd(Region *R, long long D) {
+  pendingAddTo(GPendingCounts, R, D);
+}
+
+/// Drains the calling thread's pending adjustments, making every
+/// region's RC exact. Cheap when the buffer is empty (one TLS load).
+RGN_ALWAYS_INLINE void flushPendingCounts() {
+  if (RGN_UNLIKELY(GPendingCounts.Occupied != 0))
+    GPendingCounts.flushSlow();
+}
+
+/// The write barrier's remainder for stores that cross regions:
+/// classifies the slot through the same snapshot the caller used for
+/// the old and new values, buffers the ±1 count adjustments, and parks
+/// the statistics on the store's region (see barrierAssign in
+/// RegionPtr.h). Kept inline: an out-of-line call forces the probe
+/// snapshot through the stack, which costs more than the body.
+RGN_ALWAYS_INLINE void barrierCrossRegion(void **Slot, Region *OldR,
+                                          Region *NewR,
+                                          const ArenaProbe &Probe) {
+  Region *SlotR = Probe.lookup(Slot);
+  PendingCountBuffer &B = GPendingCounts;
+  // The event word is built with add-immediates inside branches the
+  // counting logic takes anyway — no separate flag materialization.
+  std::uint64_t Event = 1;
+  if (RGN_LIKELY(OldR != SlotR && NewR != SlotR)) {
+    // Neither endpoint shares the slot's region, so the store is not
+    // sameregion: the endpoint inequality tests double as the
+    // adjustment guards, leaving only null and counting checks.
+    if (OldR && OldR->countsRefs()) {
+      pendingAddTo(B, OldR, -1);
+      Event += 1ull << Region::kBarrierAdjShift;
+    }
+    if (NewR && NewR->countsRefs()) {
+      pendingAddTo(B, NewR, +1);
+      Event += 1ull << Region::kBarrierAdjShift;
+    }
+  } else {
+    // The slot lives in one endpoint's region; that side is an internal
+    // reference while the other may still adjust.
+    if ((OldR && OldR == SlotR) || (NewR && NewR == SlotR))
+      Event += 1ull << Region::kBarrierSameShift;
+    if (OldR && OldR != SlotR && OldR->countsRefs()) {
+      pendingAddTo(B, OldR, -1);
+      Event += 1ull << Region::kBarrierAdjShift;
+    }
+    if (NewR && NewR != SlotR && NewR->countsRefs()) {
+      pendingAddTo(B, NewR, +1);
+      Event += 1ull << Region::kBarrierAdjShift;
+    }
+  }
+  // Stats park on the store's region — the new value's region when
+  // there is one, the old value's otherwise — matching the manager the
+  // eager scheme attributed to.
+  (NewR ? NewR : OldR)->noteBarrierEvent(Event);
+}
+
 } // namespace detail
+
+inline long long Region::referenceCount() const {
+  detail::flushPendingCounts();
+  return RC;
+}
 
 /// Owns an arena of pages and the regions carved from it. Distinct
 /// managers are fully independent (each experiment backend gets its
@@ -255,7 +437,12 @@ public:
   /// in the shadow stack refers to any object in R. Returns false and
   /// leaves the region (and \c *HandleSlot) untouched on failure.
   /// Prefer the typed wrappers deleteRegion() in RegionPtr.h.
-  bool deleteRegionImpl(Region *R, void **HandleSlot, bool HandleCounted);
+  ///
+  /// \p HandleNode, when the handle is a registered local (rt::Ref),
+  /// is its shadow-stack node: the scanned/unscanned classification is
+  /// then O(1) instead of a walk over every registered slot.
+  bool deleteRegionImpl(Region *R, void **HandleSlot, bool HandleCounted,
+                        const rt::SlotNode *HandleNode = nullptr);
 
   /// Deletes through an unregistered raw handle: no stack registration,
   /// no count contribution. Clears \p R on success.
@@ -344,7 +531,7 @@ RGN_ALWAYS_INLINE void *RegionManager::allocRawZeroed(Region *R, std::size_t Siz
                  B.Offset + Need <= kPageSize)) {
     char *Result = B.Head + B.Offset;
     B.Offset += static_cast<std::uint32_t>(Need);
-    if (!(detail::headerOf(B.Head)->Flags & detail::kPageZeroTail))
+    if (!B.ZeroTail)
       std::memset(Result, 0, Need);
     ++R->NumAllocs;
     R->ReqBytes += Size;
@@ -365,7 +552,7 @@ RGN_ALWAYS_INLINE void *RegionManager::allocScanned(Region *R, std::size_t Size,
     char *Base = B.Head + B.Offset;
     *reinterpret_cast<ScanThunk *>(Base) = Thunk;
     B.Offset += static_cast<std::uint32_t>(Need);
-    if (!(detail::headerOf(B.Head)->Flags & detail::kPageZeroTail)) {
+    if (!B.ZeroTail) {
       detail::writeEndMarker(B.Head, B.Offset);
       if (Cfg.ZeroMemory)
         std::memset(Base + sizeof(ScanThunk), 0, Payload);

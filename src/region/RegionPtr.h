@@ -40,45 +40,40 @@ namespace regions {
 
 namespace detail {
 
-/// The Figure 5 write barrier for `*Slot = NewVal`. regionOf(Slot)
-/// classifies the store: a slot outside every region takes the paper's
-/// global-write path; a slot within a region gets the sameregion test.
-inline void barrierAssign(void **Slot, void *NewVal) {
+/// The Figure 5 write barrier for `*Slot = NewVal`. One inline branch:
+/// the old and new values are classified through a single hot-arena
+/// probe, and the dominant sameregion outcome bumps only the region's
+/// own deferred counters — no manager state, no count adjustments. The
+/// cross-region remainder (slot classification, buffered ±1 count
+/// adjustments) is out of line in barrierCrossRegion.
+RGN_ALWAYS_INLINE void barrierAssign(void **Slot, void *NewVal) {
   void *OldVal = *Slot;
   // Null over null — the default-construct / destroy-empty pattern —
   // involves no region and, as in the seed's both-null early exit,
-  // records nothing; skip the regionOf lookups entirely.
+  // records nothing; skip the region lookups entirely.
   if ((reinterpret_cast<std::uintptr_t>(OldVal) |
        reinterpret_cast<std::uintptr_t>(NewVal)) == 0) {
     *Slot = NewVal;
     return;
   }
-  Region *OldR = regionOf(OldVal);
-  Region *NewR = regionOf(NewVal);
+  ArenaProbe Probe;
+  Region *OldR;
+  Region *NewR;
+  if (!Probe.lookupBoth(OldVal, NewVal, OldR, NewR)) {
+    // One of the values is null or outside the hot arena; classify each
+    // address on its own (lookup handles null and registry misses).
+    OldR = Probe.lookup(OldVal);
+    NewR = Probe.lookup(NewVal);
+  }
   *Slot = NewVal;
-  if (OldR == NewR) {
-    // Covers both-null (no regions involved) and rebinding within one
-    // region; the paper's barriers take the same early exit.
-    if (OldR) {
-      RegionStats &S = OldR->manager().statsMutable();
-      ++S.BarrierStores;
-      ++S.BarrierSameRegion;
-    }
+  if (RGN_LIKELY(OldR == NewR)) {
+    // Rebinding within one region (or two non-region values); the
+    // paper's barriers take the same early exit.
+    if (OldR)
+      OldR->noteSameRegionStore();
     return;
   }
-  Region *SlotR = regionOf(static_cast<void *>(Slot));
-  RegionStats &S = (NewR ? NewR : OldR)->manager().statsMutable();
-  ++S.BarrierStores;
-  if (OldR && OldR != SlotR && OldR->manager().config().RefCounts) {
-    OldR->rcAdd(-1);
-    ++S.BarrierAdjustments;
-  }
-  if (NewR && NewR != SlotR && NewR->manager().config().RefCounts) {
-    NewR->rcAdd(+1);
-    ++S.BarrierAdjustments;
-  }
-  if ((OldR && OldR == SlotR) || (NewR && NewR == SlotR))
-    ++S.BarrierSameRegion;
+  barrierCrossRegion(Slot, OldR, NewR, Probe);
 }
 
 } // namespace detail
@@ -135,7 +130,7 @@ namespace rt {
 /// only when its frame is scanned.
 template <typename T> class Ref {
 public:
-  Ref() { SlotIdx = RuntimeStack::current().registerSlot(slotAddress()); }
+  Ref() { RuntimeStack::current().registerSlot(&Node, slotAddress()); }
   Ref(T *Ptr) : Ref() { set(Ptr); }
   Ref(const Ref &Other) : Ref() { set(Other.get()); }
   Ref(const RegionPtr<T> &Other) : Ref() { set(Other.get()); }
@@ -157,8 +152,8 @@ public:
     // If this frame was scanned (possible only for the quirky
     // write-through-reference cases localWrite handles), keep counts
     // exact by clearing through the runtime before unregistering.
-    RuntimeStack::current().localWrite(SlotIdx, slotAddress(), nullptr);
-    RuntimeStack::current().unregisterSlot(SlotIdx, slotAddress());
+    RuntimeStack::localWrite(&Node, nullptr);
+    RuntimeStack::current().unregisterSlot(&Node);
   }
 
   T *get() const { return Raw; }
@@ -169,17 +164,20 @@ public:
 
   void **slotAddress() { return reinterpret_cast<void **>(&Raw); }
 
+  /// This local's shadow-stack record; deleteRegion classifies its
+  /// handle through it in O(1).
+  const SlotNode *node() const { return &Node; }
+
   /// Stores through the shadow stack (free unless the frame has been
   /// scanned; see RuntimeStack::localWrite).
   void set(T *Ptr) {
-    RuntimeStack::current().localWrite(
-        SlotIdx, slotAddress(),
-        const_cast<void *>(static_cast<const void *>(Ptr)));
+    RuntimeStack::localWrite(
+        &Node, const_cast<void *>(static_cast<const void *>(Ptr)));
   }
 
 private:
   T *Raw = nullptr;
-  std::size_t SlotIdx;
+  SlotNode Node;
 };
 
 /// A local handle to a region, the moral equivalent of the paper's
@@ -237,6 +235,26 @@ private:
 static_assert(std::is_trivially_destructible_v<SameRegionPtr<int>>,
               "sameregion pointers need no cleanup");
 
+/// Stores \p New into the counted slot \p Slot when the caller can
+/// prove statically that slot, old value, and new value all live in
+/// region \p R — the per-store form of the sameregion elision that
+/// SameRegionPtr expresses per-field. The store skips the barrier
+/// entirely (no stats, no counts: a sameregion store adjusts no counts
+/// anyway, so observable reference counts are unchanged); debug builds
+/// assert the containment claim.
+template <typename T>
+inline void assignKnownRegion(RegionPtr<T> &Slot, T *New, Region *R) {
+  assert(R && "assignKnownRegion needs the witnessing region");
+  assert(regionOf(static_cast<void *>(&Slot)) == R &&
+         "slot must live in the claimed region");
+  assert((!New || regionOf(static_cast<const void *>(New)) == R) &&
+         "new value must live in the claimed region");
+  assert((!Slot.get() ||
+          regionOf(static_cast<const void *>(Slot.get())) == R) &&
+         "old value must live in the claimed region");
+  *Slot.slotAddress() = const_cast<void *>(static_cast<const void *>(New));
+}
+
 /// Deletes the region referred to by local handle \p Handle (paper:
 /// deleteregion(&r) with r a local). On success the handle is nulled
 /// and true is returned; on failure (external references remain) the
@@ -246,7 +264,8 @@ inline bool deleteRegion(rt::Ref<Region> &Handle) {
   Region *R = Handle.get();
   if (!R)
     return false;
-  return R->manager().deleteRegionImpl(R, Handle.slotAddress(), false);
+  return R->manager().deleteRegionImpl(R, Handle.slotAddress(), false,
+                                       Handle.node());
 }
 
 /// Deletes through a counted (global or heap) handle. The handle's own

@@ -26,113 +26,85 @@ void stackAdjust(void *Value, long long Delta) {
 
 } // namespace
 
-RuntimeStack &RuntimeStack::current() {
-  thread_local RuntimeStack Instance;
-  return Instance;
+thread_local RGN_CONSTINIT RuntimeStack regions::rt::GThreadStack;
+
+FrameLink *RuntimeStack::pushBaseFrame() {
+  assert(!Top && !SlotsHead && "base frame only underlies an empty stack");
+  pushFrame(&BaseFrame);
+  return &BaseFrame;
 }
 
-std::size_t RuntimeStack::pushFrame() {
-  Frames.push_back({Slots.size()});
-  return Frames.size() - 1;
-}
-
-void RuntimeStack::popFrame() {
-  assert(!Frames.empty() && "popFrame with no frames");
-  assert(Slots.size() == Frames.back().SlotBegin &&
-         "locals must be unregistered before their frame pops");
-  Frames.pop_back();
-  if (Frames.empty()) {
-    HwmIdx = 0;
-    return;
+void RuntimeStack::unscanTopFrame() {
+  // Called right after a pop: the popped frame's slots are gone, so the
+  // slots down to Top->SlotsAtPush are exactly the new top frame's.
+  ++Stats.FramesUnscanned;
+  for (SlotNode *N = SlotsHead; N != Top->SlotsAtPush; N = N->Prev) {
+    ++Stats.SlotsVisited;
+    stackAdjust(*N->Addr, -1);
+    --NumScannedSlots;
   }
-  // Invariant (*): at least one unscanned frame. If the pop left every
-  // remaining frame scanned, unscan the new top frame — this is the
-  // paper's unscan-on-return, triggered for exactly one frame.
-  if (HwmIdx == Frames.size()) {
-    unscanFrame(Frames.size() - 1);
-    HwmIdx = Frames.size() - 1;
-  }
+  Top->Scanned = false;
+  --NumScannedFrames;
 }
 
-std::size_t RuntimeStack::registerSlot(void **Addr) {
-  if (Frames.empty())
-    pushFrame(); // implicit base frame for frameless clients
-  Slots.push_back(Addr);
-  return Slots.size() - 1;
-}
-
-void RuntimeStack::unregisterSlot(std::size_t Idx, void **Addr) {
-  (void)Idx;
-  (void)Addr;
-  assert(Idx == Slots.size() - 1 && Slots[Idx] == Addr &&
-         "local region pointers must unregister in LIFO order");
-  Slots.pop_back();
-}
-
-void RuntimeStack::localWrite(std::size_t Idx, void **Addr, void *NewVal) {
-  assert(Idx < Slots.size() && Slots[Idx] == Addr && "stale slot index");
-  if (Idx < scannedSlotEnd()) {
-    // Slot lives in a scanned frame: keep the counts exact.
-    ++Stats.ScannedFrameWrites;
-    stackAdjust(*Addr, -1);
-    stackAdjust(NewVal, +1);
-  }
-  *Addr = NewVal;
+void RuntimeStack::scannedFrameWrite(SlotNode *N, void *NewVal) {
+  // Slot lives in a scanned frame: keep the counts exact.
+  ++current().Stats.ScannedFrameWrites;
+  stackAdjust(*N->Addr, -1);
+  stackAdjust(NewVal, +1);
+  *N->Addr = NewVal;
 }
 
 void RuntimeStack::scanForDelete() {
   ++Stats.Scans;
-  if (Frames.empty())
+  if (!Top)
     return;
-  std::size_t Target = Frames.size() - 1; // top frame stays unscanned
-  if (HwmIdx >= Target)
-    return;
-  std::size_t Begin = Frames[HwmIdx].SlotBegin;
-  std::size_t End = Frames[Target].SlotBegin;
-  for (std::size_t I = Begin; I != End; ++I) {
+  // Slots below the top frame, newest first, stopping at the already-
+  // scanned prefix (scanned frames are always a bottom prefix, so their
+  // slots sit contiguously at the old end of the list).
+  for (SlotNode *N = Top->SlotsAtPush; N && !N->Owner->Scanned;
+       N = N->Prev) {
     ++Stats.SlotsVisited;
-    stackAdjust(*Slots[I], +1);
+    stackAdjust(*N->Addr, +1);
+    ++NumScannedSlots;
   }
-  Stats.FramesScanned += Target - HwmIdx;
-  HwmIdx = Target;
-}
-
-void RuntimeStack::unscanFrame(std::size_t FrameIdx) {
-  ++Stats.FramesUnscanned;
-  std::size_t Begin = Frames[FrameIdx].SlotBegin;
-  std::size_t End = frameSlotEnd(FrameIdx);
-  for (std::size_t I = Begin; I != End; ++I) {
-    ++Stats.SlotsVisited;
-    stackAdjust(*Slots[I], -1);
+  for (FrameLink *F = Top->Parent; F && !F->Scanned; F = F->Parent) {
+    F->Scanned = true;
+    ++NumScannedFrames;
+    ++Stats.FramesScanned;
   }
 }
 
 RuntimeStack::SlotLocation RuntimeStack::locate(void *const *Addr) const {
-  std::size_t ScanEnd = scannedSlotEnd();
-  for (std::size_t I = 0, E = Slots.size(); I != E; ++I)
-    if (Slots[I] == Addr)
-      return I < ScanEnd ? SlotLocation::Scanned : SlotLocation::Unscanned;
+  for (const SlotNode *N = SlotsHead; N; N = N->Prev)
+    if (N->Addr == Addr)
+      return N->Owner->Scanned ? SlotLocation::Scanned
+                               : SlotLocation::Unscanned;
   return SlotLocation::NotRegistered;
 }
 
 std::size_t
 RuntimeStack::countTopFrameRefsTo(const Region *R,
                                   void *const *ExcludeSlot) const {
-  if (Frames.empty())
+  if (!Top)
     return 0;
   std::size_t Count = 0;
-  for (std::size_t I = Frames.back().SlotBegin, E = Slots.size(); I != E; ++I) {
-    if (Slots[I] == ExcludeSlot)
+  for (const SlotNode *N = SlotsHead; N != Top->SlotsAtPush; N = N->Prev) {
+    if (N->Addr == ExcludeSlot)
       continue;
-    if (regionOf(*Slots[I]) == R)
+    if (regionOf(*N->Addr) == R)
       ++Count;
   }
   return Count;
 }
 
 void RuntimeStack::resetForTesting() {
-  Frames.clear();
-  Slots.clear();
-  HwmIdx = 0;
+  Top = nullptr;
+  SlotsHead = nullptr;
+  NumFrames = 0;
+  NumScannedFrames = 0;
+  NumSlots = 0;
+  NumScannedSlots = 0;
+  BaseFrame = FrameLink{};
   Stats = Counters{};
 }

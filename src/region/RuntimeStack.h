@@ -22,14 +22,24 @@
 /// rt::Ref<T> values (defined in RegionPtr.h) that register their
 /// storage address in the current frame.
 ///
+/// Storage is fully intrusive: the frame record lives inside rt::Frame
+/// and the slot record inside rt::Ref, linked into per-thread LIFO
+/// lists. Push/pop/register/unregister are a few pointer writes — no
+/// vector growth, no allocation — and a slot's scanned/unscanned
+/// classification is one load through its owning frame (the frames at
+/// or below the high-water mark carry a Scanned flag), so the paths
+/// rt::Ref-heavy code hits are all O(1).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REGION_RUNTIMESTACK_H
 #define REGION_RUNTIMESTACK_H
 
+#include "support/Compiler.h"
+
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 namespace regions {
 
@@ -37,35 +47,97 @@ class Region;
 
 namespace rt {
 
+/// Shadow-stack record of one frame, embedded in rt::Frame (and, for
+/// the implicit base frame, in the RuntimeStack itself).
+struct FrameLink {
+  FrameLink *Parent = nullptr;       ///< next older frame
+  struct SlotNode *SlotsAtPush = nullptr; ///< newest slot when pushed
+  bool Scanned = false;              ///< at or below the high-water mark
+  std::uint32_t Depth = 0;           ///< index from the stack bottom
+};
+
+/// Shadow-stack record of one registered local slot, embedded in
+/// rt::Ref. Registration is strictly LIFO (C++ scoping guarantees this
+/// for automatic locals), so slots form one intrusive stack.
+struct SlotNode {
+  void **Addr = nullptr;    ///< address of the local's pointer storage
+  SlotNode *Prev = nullptr; ///< next older slot
+  FrameLink *Owner = nullptr; ///< frame this slot registered under
+};
+
 /// Per-thread shadow stack of frames holding registered local
 /// region-pointer slots, plus the high-water mark.
 class RuntimeStack {
 public:
-  /// The calling thread's stack.
+  /// The calling thread's stack. Inline: resolves to one thread-local
+  /// address computation, so Frame push/pop and slot registration pay
+  /// no call or lazy-init guard.
   static RuntimeStack &current();
 
-  /// Pushes a frame; returns its index. Called by rt::Frame.
-  std::size_t pushFrame();
+  /// Pushes \p F as the newest frame. Called by rt::Frame.
+  RGN_ALWAYS_INLINE void pushFrame(FrameLink *F) {
+    F->Parent = Top;
+    F->SlotsAtPush = SlotsHead;
+    F->Scanned = false;
+    F->Depth = static_cast<std::uint32_t>(NumFrames);
+    Top = F;
+    ++NumFrames;
+  }
 
   /// Pops the newest frame. If the pop leaves the new top frame
   /// scanned, that frame is unscanned (counts decremented, mark
   /// lowered), restoring invariant (*). Called by rt::Frame.
-  void popFrame();
+  RGN_ALWAYS_INLINE void popFrame(FrameLink *F) {
+    assert(Top == F && "frames must pop in LIFO order");
+    assert(SlotsHead == F->SlotsAtPush &&
+           "locals must be unregistered before their frame pops");
+    assert(!F->Scanned && "invariant (*): the top frame is never scanned");
+    Top = F->Parent;
+    --NumFrames;
+    if (RGN_UNLIKELY(Top && Top->Scanned))
+      unscanTopFrame();
+  }
 
   /// Registers a local pointer slot in the current frame (creating a
-  /// bottom "base" frame if none exists). Returns the slot index.
-  std::size_t registerSlot(void **Addr);
+  /// bottom "base" frame if none exists). Called by rt::Ref.
+  RGN_ALWAYS_INLINE void registerSlot(SlotNode *N, void **Addr) {
+    FrameLink *F = Top;
+    if (RGN_UNLIKELY(!F))
+      F = pushBaseFrame();
+    N->Addr = Addr;
+    N->Prev = SlotsHead;
+    N->Owner = F;
+    SlotsHead = N;
+    ++NumSlots;
+  }
 
   /// Unregisters the most recently registered slot. Registration is
   /// strictly LIFO, which C++ scoping guarantees for automatic Refs.
-  void unregisterSlot(std::size_t Idx, void **Addr);
+  RGN_ALWAYS_INLINE void unregisterSlot(SlotNode *N) {
+    assert(SlotsHead == N &&
+           "local region pointers must unregister in LIFO order");
+    SlotsHead = N->Prev;
+    --NumSlots;
+    if (RGN_UNLIKELY(N->Owner->Scanned))
+      --NumScannedSlots;
+  }
 
-  /// Stores \p NewVal into the registered slot \p Idx. Free for slots
-  /// in unscanned frames (the common case, by invariant (*)); for a
-  /// slot in a scanned frame — reachable only by writing a caller's
-  /// local through a reference — the counts are adjusted, the paper's
-  /// "more expensive runtime routine" for statically ambiguous writes.
-  void localWrite(std::size_t Idx, void **Addr, void *NewVal);
+  /// Stores \p NewVal into the registered slot \p N. Free for slots in
+  /// unscanned frames (the common case, by invariant (*)); for a slot
+  /// in a scanned frame — reachable only by writing a caller's local
+  /// through a reference — the counts are adjusted, the paper's "more
+  /// expensive runtime routine" for statically ambiguous writes.
+  /// Static: the fast path needs no thread-local state at all.
+  RGN_ALWAYS_INLINE static void localWrite(SlotNode *N, void *NewVal) {
+    if (RGN_UNLIKELY(N->Owner->Scanned))
+      return scannedFrameWrite(N, NewVal);
+    *N->Addr = NewVal;
+  }
+
+  /// Whether a registered slot's frame has been scanned (its reference
+  /// is reflected in region counts). O(1); used by deleteRegion to
+  /// classify the handle being deleted.
+  static bool nodeScanned(const SlotNode *N) { return N->Owner->Scanned; }
 
   /// Scans all unscanned frames except the newest one, incrementing the
   /// reference count of every region referenced by a registered local,
@@ -76,7 +148,7 @@ public:
   enum class SlotLocation { NotRegistered, Scanned, Unscanned };
 
   /// Classifies \p Addr. Linear in the number of registered slots;
-  /// used only inside deleteRegion.
+  /// diagnostics only (deleteRegion classifies via nodeScanned).
   SlotLocation locate(void *const *Addr) const;
 
   /// Counts references to \p R from the *top* frame's slots, excluding
@@ -86,20 +158,18 @@ public:
   std::size_t countTopFrameRefsTo(const Region *R,
                                   void *const *ExcludeSlot) const;
 
-  std::size_t frameCount() const { return Frames.size(); }
-  std::size_t scannedFrameCount() const { return HwmIdx; }
-  std::size_t slotCount() const { return Slots.size(); }
-
-  /// Current value of registered slot \p Idx. Used by the conservative
-  /// collector, which treats every registered local as a root.
-  void *slotValue(std::size_t Idx) const { return *Slots[Idx]; }
-
-  /// Storage address of registered slot \p Idx (diagnostics).
-  void *const *slotAddress(std::size_t Idx) const { return Slots[Idx]; }
+  std::size_t frameCount() const { return NumFrames; }
+  std::size_t scannedFrameCount() const { return NumScannedFrames; }
+  std::size_t slotCount() const { return NumSlots; }
 
   /// Number of slots belonging to scanned frames (their references are
   /// already reflected in region counts).
-  std::size_t scannedSlotCount() const { return scannedSlotEnd(); }
+  std::size_t scannedSlotCount() const { return NumScannedSlots; }
+
+  /// Newest registered slot, start of the intrusive slot list (older
+  /// slots via SlotNode::Prev). Used by the conservative collector,
+  /// which treats every registered local as a root, and by diagnostics.
+  const SlotNode *slots() const { return SlotsHead; }
 
   /// Instrumentation for the Figure 11 harness.
   struct Counters {
@@ -115,41 +185,48 @@ public:
   void resetForTesting();
 
 private:
-  struct FrameRec {
-    std::size_t SlotBegin;
-  };
+  /// Out-of-line: activates the implicit base frame for frameless
+  /// clients; returns it.
+  FrameLink *pushBaseFrame();
 
-  std::size_t frameSlotEnd(std::size_t FrameIdx) const {
-    return FrameIdx + 1 < Frames.size() ? Frames[FrameIdx + 1].SlotBegin
-                                        : Slots.size();
-  }
+  /// Out-of-line: unscans the (new) top frame after a pop left every
+  /// remaining frame scanned — the paper's unscan-on-return, triggered
+  /// for exactly one frame.
+  void unscanTopFrame();
 
-  /// First slot index beyond the scanned prefix.
-  std::size_t scannedSlotEnd() const {
-    return HwmIdx < Frames.size() ? Frames[HwmIdx].SlotBegin : Slots.size();
-  }
+  /// Out-of-line: a write to a slot in a scanned frame keeps counts
+  /// exact.
+  static void scannedFrameWrite(SlotNode *N, void *NewVal);
 
-  void unscanFrame(std::size_t FrameIdx);
-
-  std::vector<FrameRec> Frames;
-  std::vector<void **> Slots;
-  std::size_t HwmIdx = 0; ///< frames [0, HwmIdx) are scanned
+  FrameLink *Top = nullptr;
+  SlotNode *SlotsHead = nullptr;
+  std::size_t NumFrames = 0;
+  std::size_t NumScannedFrames = 0;
+  std::size_t NumSlots = 0;
+  std::size_t NumScannedSlots = 0;
+  FrameLink BaseFrame; ///< storage for the implicit base frame
   Counters Stats;
 };
+
+/// The calling thread's shadow stack. constinit (all-zero) so access
+/// needs no thread-safe initialization guard.
+extern thread_local RGN_CONSTINIT RuntimeStack GThreadStack;
+
+inline RuntimeStack &RuntimeStack::current() { return GThreadStack; }
 
 /// RAII shadow-stack frame. Declare one at the top of any function that
 /// keeps region pointers in locals (before any rt::Ref local).
 class Frame {
 public:
-  Frame() { Idx = RuntimeStack::current().pushFrame(); }
+  Frame() { RuntimeStack::current().pushFrame(&Link); }
   Frame(const Frame &) = delete;
   Frame &operator=(const Frame &) = delete;
-  ~Frame() { RuntimeStack::current().popFrame(); }
+  ~Frame() { RuntimeStack::current().popFrame(&Link); }
 
-  std::size_t index() const { return Idx; }
+  std::size_t index() const { return Link.Depth; }
 
 private:
-  std::size_t Idx;
+  FrameLink Link;
 };
 
 } // namespace rt

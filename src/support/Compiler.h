@@ -26,6 +26,16 @@
 /// handful of instructions at every call site, per the paper's §4.1).
 #define RGN_ALWAYS_INLINE inline __attribute__((always_inline))
 
+/// C++20 constinit where available. It only *asserts* static
+/// initialization (the zero-initialized thread-locals it marks are
+/// statically initialized either way), so C++17 consumers of the
+/// public headers compile the same code without the check.
+#if defined(__cpp_constinit) && __cpp_constinit >= 201907L
+#define RGN_CONSTINIT constinit
+#else
+#define RGN_CONSTINIT
+#endif
+
 namespace regions {
 
 /// Prints \p Msg to stderr and aborts. Used for unrecoverable runtime

@@ -134,13 +134,15 @@ CfracResult runCfrac(M &Mem, const CfracOptions &Opt) {
   }
   const unsigned B = static_cast<unsigned>(Base.size());
 
-  /// One smooth relation, stored in the solution region. Sameregion
-  /// next-links are barriered under safe regions.
+  /// One smooth relation, stored in the solution region. The next-link
+  /// always targets the previous relation in the same region, so it is
+  /// a statically recognized sameregion pointer: no barrier at all
+  /// under safe regions (asserted in debug builds).
   struct Relation {
     Nat A;                ///< convergent (mod N)
     std::uint8_t *Exps;   ///< exponent of each base prime
     std::uint8_t Sign;    ///< parity of i (the (-1)^i term)
-    typename M::template Ptr<Relation> Next;
+    typename M::template SamePtr<Relation> Next;
   };
   Relation *Relations = nullptr;
   unsigned NumRelations = 0;

@@ -112,9 +112,12 @@ GrobnerResult runGrobner(M &Mem, const GrobnerOptions &Opt) {
   // The basis polynomials live in the result region, chained through a
   // model-visible list (under the GC backend this list is what keeps
   // them reachable; under safe regions the links add the sameregion
-  // barrier traffic the original program had). The plain vector is an
-  // index into the same objects for fast reduce() access, like the
-  // original's static array.
+  // barrier traffic the original program had). Deliberately kept as a
+  // barriered Ptr — unlike cfrac/moss/tile, which use the static
+  // SamePtr elision — so the dynamic sameregion fast path stays
+  // exercised by a workload. The plain vector is an index into the
+  // same objects for fast reduce() access, like the original's static
+  // array.
   struct BasisNode {
     Poly P;
     typename M::template Ptr<BasisNode> Next;

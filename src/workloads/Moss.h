@@ -85,8 +85,11 @@ MossResult runMoss(M &Mem, const MossOptions &Opt) {
     std::uint64_t Fp = 0;
     std::uint32_t Doc = 0;
     std::uint32_t Pos = 0;
-    typename M::template Ptr<Posting> Next;    ///< bucket chain
-    typename M::template Ptr<Posting> DocNext; ///< per-document chain
+    // Postings only ever chain to postings in the index scope:
+    // statically sameregion, so the links skip the barrier entirely
+    // (debug-asserted). The bucket/head arrays keep barriered slots.
+    typename M::template SamePtr<Posting> Next;    ///< bucket chain
+    typename M::template SamePtr<Posting> DocNext; ///< per-document chain
   };
   constexpr unsigned kBuckets = 4096;
   auto *Buckets = Mem.template createArray<
@@ -149,9 +152,11 @@ MossResult runMoss(M &Mem, const MossOptions &Opt) {
               P->Doc = Doc;
               P->Pos = DocOffset + WindowPos[MinIdx];
               P->Next = Buckets[B];
-              Buckets[B] = P;
+              // Head slots, old heads, and the new posting all live in
+              // the index scope: the per-store sameregion elision.
+              Mem.assignSame(Buckets[B], P, IndexScope);
               P->DocNext = DocHeads[Doc];
-              DocHeads[Doc] = P;
+              Mem.assignSame(DocHeads[Doc], P, IndexScope);
               ++Result.Fingerprints;
             }
           }

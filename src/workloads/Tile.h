@@ -74,7 +74,9 @@ TileResult runTile(M &Mem, const TileOptions &Opt) {
     struct VocabEntry {
       std::uint64_t Hash = 0;
       std::uint32_t Id = 0;
-      typename M::template Ptr<VocabEntry> Next;
+      // Vocabulary chains never leave the document scope: statically
+      // sameregion, no barrier (debug-asserted).
+      typename M::template SamePtr<VocabEntry> Next;
     };
     constexpr unsigned kBuckets = 512;
     auto *Buckets = Mem.template createArray<
@@ -100,7 +102,8 @@ TileResult runTile(M &Mem, const TileOptions &Opt) {
         E->Hash = H;
         E->Id = NumWords++;
         E->Next = Buckets[B];
-        Buckets[B] = E;
+        // Bucket slot, old head, and new entry all live in Scope.
+        Mem.assignSame(Buckets[B], E, Scope);
       }
       Mem.touch(E, sizeof(VocabEntry), false);
       if (NumTokens == CapTokens) {

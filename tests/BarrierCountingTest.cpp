@@ -1,0 +1,248 @@
+//===- tests/BarrierCountingTest.cpp - Buffered counting semantics --------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// The write barrier batches its ±1 reference-count adjustments in a
+// small per-thread buffer (coalescing repeated stores to the same
+// regions) and defers its statistics to per-region counters. These
+// tests pin the observable contract: counts and statistics read
+// through the public API are exactly what unbuffered, eager counting
+// would produce — in particular at every deletion decision, which is
+// where the paper's safety rests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Parallel.h"
+#include "region/Regions.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using rt::Frame;
+using rt::RegionHandle;
+
+namespace {
+
+struct Node {
+  explicit Node(int V = 0) : Value(V) {}
+  int Value;
+  RegionPtr<Node> Next;
+};
+
+struct BarrierCountingTest : ::testing::Test {
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+};
+
+//===----------------------------------------------------------------------===//
+// Buffered adjustments stay exact
+//===----------------------------------------------------------------------===//
+
+TEST_F(BarrierCountingTest, CountsExactAfterInterleavedCrossRegionStores) {
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  Node *InA = rnew<Node>(A, 1);
+  Node *InB = rnew<Node>(B, 2);
+
+  // Ping-pong a slot in A between values in A and B: every store to
+  // InB is a +1 on B, every overwrite a -1, all landing in the
+  // pending buffer and largely cancelling there.
+  Node *Slot = rnew<Node>(A, 0);
+  for (int I = 0; I != 1000; ++I)
+    Slot->Next = (I % 2) ? InB : InA;
+  // Final state: Slot->Next == InB, so B holds exactly one external
+  // reference. referenceCount() flushes before reading.
+  EXPECT_EQ(B->referenceCount(), 1);
+  EXPECT_EQ(A->referenceCount(), 0) << "A's references are all internal";
+
+  EXPECT_FALSE(deleteRegion(B)) << "live cross-region ref blocks deletion";
+  Slot->Next = InA;
+  EXPECT_EQ(B->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+TEST_F(BarrierCountingTest, BufferOverflowSpillsWithoutLosingCounts) {
+  // More distinct regions than the pending buffer has entries, all
+  // adjusted back-to-back so the overflow path (direct rcAdd) runs.
+  Frame F;
+  constexpr int kRegions = 24; // PendingCountBuffer::kEntries is 8
+  RegionHandle Home = Mgr.newRegion();
+  Node *Holder[kRegions];
+  RegionHandle Others[kRegions];
+  for (int I = 0; I != kRegions; ++I) {
+    Others[I] = Mgr.newRegion();
+    Holder[I] = rnew<Node>(Home, I);
+  }
+  for (int I = 0; I != kRegions; ++I)
+    Holder[I]->Next = rnew<Node>(Others[I], I);
+  for (int I = 0; I != kRegions; ++I) {
+    EXPECT_EQ(Others[I]->referenceCount(), 1) << "region " << I;
+    EXPECT_FALSE(deleteRegion(Others[I]));
+    Holder[I]->Next = nullptr;
+    EXPECT_TRUE(deleteRegion(Others[I])) << "region " << I;
+  }
+  EXPECT_TRUE(deleteRegion(Home));
+  EXPECT_EQ(Mgr.stats().DeleteFailures,
+            static_cast<std::uint64_t>(kRegions));
+}
+
+TEST_F(BarrierCountingTest, DeletionInspectsPendingBufferFirst) {
+  // The essence of flush-before-inspect: a single buffered +1 that has
+  // not been applied to Region::RC yet must still veto deletion.
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  Node *InA = rnew<Node>(A, 1);
+  // One cross-region store; the +1 for B sits in the pending buffer.
+  InA->Next = rnew<Node>(B, 2);
+  EXPECT_FALSE(deleteRegion(B))
+      << "deletion must flush buffered adjustments before deciding";
+  InA->Next = nullptr;
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Deferred statistics equivalence
+//===----------------------------------------------------------------------===//
+
+TEST_F(BarrierCountingTest, DeferredStatsMatchEagerValues) {
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  Node *NA1 = rnew<Node>(A, 1);
+  Node *NA2 = rnew<Node>(A, 2);
+  Node *NB = rnew<Node>(B, 3);
+
+  const RegionStats &Before = Mgr.stats();
+  std::uint64_t Stores0 = Before.BarrierStores;
+  std::uint64_t Same0 = Before.BarrierSameRegion;
+  std::uint64_t Adj0 = Before.BarrierAdjustments;
+
+  NA1->Next = NA2; // sameregion: 1 store, 1 sameregion, 0 adjustments
+  NA1->Next = NB;  // cross: 1 store, 1 sameregion (slot in A, old in A),
+                   //   1 adjustment (+1 B; old A == slot region, uncounted)
+  NA1->Next = nullptr; // cross: 1 store, 0 sameregion (old in B, new
+                       //   null, slot in A), 1 adjustment (-1 B)
+  static RegionPtr<Node> Global;
+  Global = NA1; // global slot: 1 store, 0 sameregion, 1 adjustment (+1 A)
+  Global = nullptr; // 1 store, 0 sameregion, 1 adjustment (-1 A)
+
+  const RegionStats &After = Mgr.stats();
+  EXPECT_EQ(After.BarrierStores - Stores0, 5u);
+  EXPECT_EQ(After.BarrierSameRegion - Same0, 2u);
+  EXPECT_EQ(After.BarrierAdjustments - Adj0, 4u);
+
+  EXPECT_EQ(A->referenceCount(), 0);
+  EXPECT_EQ(B->referenceCount(), 0);
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+TEST_F(BarrierCountingTest, StatsFoldAtRegionDeletionToo) {
+  // Deltas parked on a region must survive its deletion: fold into the
+  // manager aggregate when the region dies, visible in stats() after.
+  Frame F;
+  std::uint64_t Stores0 = Mgr.stats().BarrierStores;
+  RegionHandle A = Mgr.newRegion();
+  Node *N1 = rnew<Node>(A, 1);
+  N1->Next = rnew<Node>(A, 2); // sameregion store parked on A
+  // Deletion runs N1's cleanup thunk, whose ~RegionPtr nulls Next —
+  // one more barriered (sameregion) store, parked on A mid-deletion.
+  EXPECT_TRUE(deleteRegion(A));
+  EXPECT_EQ(Mgr.stats().BarrierStores - Stores0, 2u)
+      << "deltas parked on a deleted region must not vanish";
+}
+
+//===----------------------------------------------------------------------===//
+// Static sameregion elision
+//===----------------------------------------------------------------------===//
+
+TEST_F(BarrierCountingTest, SameRegionPtrCrossRegionStoreDies) {
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  struct Linked {
+    SameRegionPtr<Linked> Next;
+  };
+  Linked *InA = rnew<Linked>(A);
+  Linked *InB = rnew<Linked>(B);
+  InA->Next = InA; // sameregion: fine
+  EXPECT_DEATH(InA->Next = InB, "SameRegionPtr must not escape");
+  InA->Next = nullptr;
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+TEST_F(BarrierCountingTest, AssignKnownRegionCrossRegionValueDies) {
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  Node *InA = rnew<Node>(A, 1);
+  Node *InB = rnew<Node>(B, 2);
+  Node *Holder = rnew<Node>(A, 0);
+  assignKnownRegion(Holder->Next, InA, A.get()); // genuine sameregion
+  EXPECT_EQ(Holder->Next.get(), InA);
+  EXPECT_DEATH(assignKnownRegion(Holder->Next, InB, A.get()),
+               "new value must live in the claimed region");
+  assignKnownRegion(Holder->Next, static_cast<Node *>(nullptr), A.get());
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel deletion flushes too
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelBufferedCountingTest, TryDeleteFlushesPendingCounts) {
+  // A safe-config manager behind a ParallelSpace: a buffered barrier
+  // adjustment must be visible to tryDelete's inspection, and a refusal
+  // by the owning manager must leave the shared record retryable
+  // instead of aborting (the old path asserted).
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+  par::ParallelSpace Space;
+  par::ThreadSlot Tid(Space);
+
+  Region *Home = Mgr.newRegion();
+  par::SharedRegion *SHome = Space.share(Home);
+  Region *Target = Mgr.newRegion();
+  par::SharedRegion *STarget = Space.share(Target);
+
+  Node *Holder = rnew<Node>(Home, 0);
+  // Cross-region store through the ordinary barrier: +1 on Target sits
+  // in the calling thread's pending buffer.
+  Holder->Next = rnew<Node>(Target, 1);
+  EXPECT_FALSE(Space.tryDelete(STarget))
+      << "manager-side count must veto shared deletion after flush";
+  EXPECT_EQ(Space.liveSharedRegions(), 2u) << "refusal keeps the record";
+
+  Holder->Next = nullptr;
+  EXPECT_TRUE(Space.tryDelete(STarget)) << "retry succeeds once cleared";
+  EXPECT_FALSE(Space.tryDelete(STarget)) << "second delete is a no-op";
+  EXPECT_TRUE(Space.tryDelete(SHome));
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+TEST(ParallelBufferedCountingTest, UnregisterThreadBanksBalances) {
+  // An exiting thread's local-count balances fold into the region's
+  // detached count: sums (and so deletability) are unchanged, and the
+  // freed slot index is reissued.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  par::ParallelSpace Space;
+  par::SharedRegion *S = Space.share(Mgr.newRegion());
+
+  unsigned TidA = Space.registerThread();
+  Space.addRef(S, TidA);
+  Space.unregisterThread(TidA);
+  EXPECT_EQ(S->totalCount(), 1) << "banked balance survives the exit";
+
+  unsigned TidB = Space.registerThread();
+  EXPECT_EQ(TidB, TidA) << "slot index is recycled";
+  Space.dropRef(S, TidB);
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+  Space.unregisterThread(TidB);
+}
+
+} // namespace
