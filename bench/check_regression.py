@@ -22,9 +22,14 @@ def load(path):
         data = json.load(f)
     rows = {}
     for r in data.get("results", []):
+        # Thread-family records share a name; the thread count keeps
+        # them distinct (and readable in the report).
+        label = r["name"]
+        if "threads" in r:
+            label = f"{label}/threads:{r['threads']}"
         for key in NS_KEYS:
             if key in r:
-                rows[r["name"]] = r[key]
+                rows[label] = r[key]
                 break
     return data, rows
 

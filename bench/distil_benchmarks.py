@@ -37,15 +37,26 @@ def main():
 
     results = []
     for b in report.get("benchmarks", []):
-        name = b["name"].split("/")[0]
+        # Multi-threaded benchmarks are reported as "BM_Name/threads:N";
+        # keep the thread count as its own field so records stay unique
+        # (splitting the name alone would collapse the whole family).
+        parts = b["name"].split("/")
+        name = parts[0]
+        threads = None
+        for p in parts[1:]:
+            if p.startswith("threads:"):
+                threads = int(p.split(":", 1)[1])
         default = "unsafe" if suite == "micro_alloc" else "safe"
         entry = {
             "name": name,
             "config": CONFIG.get(name, default),
             "real_time_ns": round(b["real_time"], 3),
         }
+        if threads is not None:
+            entry["threads"] = threads
         ips = b.get("items_per_second")
         if ips:
+            entry["ops_per_second"] = round(ips, 1)
             entry[ns_key] = round(1e9 / ips, 4)
         results.append(entry)
 
@@ -58,6 +69,11 @@ def main():
         "results": results,
     }
     out["context"]["build_type"] = build_type
+    # The binary's build type again, under the key the benchmark library
+    # used to (mis)populate: consumers of the published JSON look for
+    # context.library_build_type and must see the *library under test*'s
+    # build, not libbenchmark's.
+    out["context"]["library_build_type"] = build_type.lower()
     if build_type not in ("Release", "RelWithDebInfo"):
         out["context"]["warning"] = "unoptimized build; do not publish"
     with open(out_path, "w") as f:

@@ -1,0 +1,186 @@
+//===- bench/parallel.cpp - Parallel extension microbenchmarks ------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Measures the §1 parallel extension: the atomic-exchange shared-slot
+// write with per-thread local counts (the paper's claim that only
+// region creation and deletion need global synchronization), thread
+// slot register/unregister churn, and the synchronized create/delete
+// path itself. Each benchmark reports items_per_second so ns/op can be
+// read directly; bench/run_benchmarks.sh distils the results into
+// BENCH_parallel.json — this file is the source of those published
+// numbers, which must come from a Release build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Parallel.h"
+#include "region/Regions.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+using namespace regions;
+using namespace regions::par;
+
+namespace {
+
+constexpr int kBatch = 1024;
+constexpr int kMaxBenchThreads = 8;
+
+/// Shared state for the multi-threaded benchmarks. Thread 0 populates
+/// the manager-owned parts before the iteration barrier (the standard
+/// benchmark idiom); the other threads only touch them inside the
+/// timed loop.
+struct ExchangeState {
+  ParallelSpace Space;
+  std::unique_ptr<RegionManager> Mgr;
+  SharedRegion *S = nullptr;
+  int *Obj[kMaxBenchThreads] = {};
+  struct alignas(64) PaddedSlot {
+    std::atomic<int *> Ptr{nullptr};
+  };
+  PaddedSlot Slots[kMaxBenchThreads];
+  std::atomic<int *> ContendedSlot{nullptr};
+} GState;
+
+void setUpShared(benchmark::State &State) {
+  GState.Mgr =
+      std::make_unique<RegionManager>(SafetyConfig::unsafeConfig());
+  GState.S = GState.Space.share(GState.Mgr->newRegion());
+  for (int T = 0; T != kMaxBenchThreads; ++T) {
+    GState.Obj[T] = rnew<int>(GState.S->region(), T);
+    GState.Slots[T].Ptr.store(nullptr, std::memory_order_relaxed);
+  }
+  GState.ContendedSlot.store(nullptr, std::memory_order_relaxed);
+  (void)State;
+}
+
+void tearDownShared(benchmark::State &State) {
+  // Clear every slot (dropping whatever reference it still holds) from
+  // this thread — only the summed count matters — then delete.
+  ThreadSlot Tid(GState.Space);
+  for (auto &Slot : GState.Slots)
+    GState.Space.sharedExchange<int>(Slot.Ptr, nullptr, nullptr, GState.S,
+                                     Tid);
+  GState.Space.sharedExchange<int>(GState.ContendedSlot, nullptr, nullptr,
+                                   GState.S, Tid);
+  if (!GState.Space.tryDelete(GState.S))
+    State.SkipWithError("shared region still referenced at teardown");
+  GState.S = nullptr;
+  GState.Mgr.reset();
+}
+
+/// The paper's shared-slot write on an uncontended (per-thread) slot:
+/// one atomic exchange plus two uncounted local-count bumps. This is
+/// the parallel fast path — no locks, no cross-thread communication.
+void BM_SharedExchange(benchmark::State &State) {
+  if (State.thread_index() == 0)
+    setUpShared(State);
+  ThreadSlot Tid(GState.Space);
+  for (auto _ : State) {
+    SharedRegion *S = GState.S;
+    int *Obj = GState.Obj[State.thread_index()];
+    auto &Slot = GState.Slots[State.thread_index()].Ptr;
+    for (int I = 0; I != kBatch; ++I) {
+      int *New = (I & 1) ? Obj : nullptr;
+      GState.Space.sharedExchange(Slot, New, New ? S : nullptr, S, Tid);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * kBatch);
+  if (State.thread_index() == 0)
+    tearDownShared(State);
+}
+BENCHMARK(BM_SharedExchange)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+
+/// Every thread hammers the same slot: the exchange itself serializes
+/// on the cache line, but the count adjustments stay thread-local, so
+/// the slowdown measures the hardware, not the bookkeeping.
+void BM_SharedExchangeContended(benchmark::State &State) {
+  if (State.thread_index() == 0)
+    setUpShared(State);
+  ThreadSlot Tid(GState.Space);
+  for (auto _ : State) {
+    SharedRegion *S = GState.S;
+    int *Obj = GState.Obj[State.thread_index()];
+    for (int I = 0; I != kBatch; ++I) {
+      int *New = (I & 1) ? Obj : nullptr;
+      GState.Space.sharedExchange(GState.ContendedSlot, New,
+                                  New ? S : nullptr, S, Tid);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * kBatch);
+  if (State.thread_index() == 0)
+    tearDownShared(State);
+}
+BENCHMARK(BM_SharedExchangeContended)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8);
+
+/// Thread slot churn: registerThread/unregisterThread pairs, which
+/// take the space lock and fold balances into every live shared
+/// region. Worker-pool workloads pay this on every thread lifecycle.
+void BM_ThreadRegistration(benchmark::State &State) {
+  constexpr int kRegBatch = 64;
+  if (State.thread_index() == 0)
+    setUpShared(State);
+  for (auto _ : State) {
+    for (int I = 0; I != kRegBatch; ++I) {
+      ThreadSlot Slot(GState.Space);
+      benchmark::DoNotOptimize(Slot.tid());
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * kRegBatch);
+  if (State.thread_index() == 0)
+    tearDownShared(State);
+}
+BENCHMARK(BM_ThreadRegistration)->Threads(1)->Threads(2)->Threads(4);
+
+/// Failed deletion attempts under contention: tryDelete synchronizes,
+/// flushes the caller's buffered counts, and sums every local count
+/// before giving up (a detached reference keeps the sum at one). This
+/// is the cost of *checking* the paper's deletion condition.
+void BM_TryDeleteContended(benchmark::State &State) {
+  constexpr int kTryBatch = 64;
+  if (State.thread_index() == 0) {
+    setUpShared(State);
+    // Pin the region alive through the detached count: register a
+    // slot, take a reference, and fold it by unregistering.
+    ThreadSlot Tid(GState.Space);
+    GState.Space.addRef(GState.S, Tid);
+  }
+  for (auto _ : State) {
+    SharedRegion *S = GState.S;
+    for (int I = 0; I != kTryBatch; ++I)
+      benchmark::DoNotOptimize(GState.Space.tryDelete(S));
+  }
+  State.SetItemsProcessed(State.iterations() * kTryBatch);
+  if (State.thread_index() == 0) {
+    ThreadSlot Tid(GState.Space);
+    GState.Space.dropRef(GState.S, Tid);
+    tearDownShared(State);
+  }
+}
+BENCHMARK(BM_TryDeleteContended)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+
+/// The synchronized slow path the paper confines to region lifetime:
+/// create a region, publish it as shared, delete it again.
+void BM_ShareDeleteCycle(benchmark::State &State) {
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  ParallelSpace Space;
+  for (auto _ : State) {
+    SharedRegion *S = Space.share(Mgr.newRegion());
+    rnew<int>(S->region(), 1);
+    bool Deleted = Space.tryDelete(S);
+    benchmark::DoNotOptimize(Deleted);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ShareDeleteCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -5,9 +5,9 @@
 # Configures and builds a Release tree (numbers from unoptimized
 # binaries are meaningless and have been published by accident before:
 # the build type now comes from CMakeCache.txt, not from whatever the
-# benchmark library claims), runs bench/micro_alloc and bench/barrier
+# benchmark library claims), runs bench/micro_alloc, bench/barrier and bench/parallel
 # in JSON mode, and distils the results into BENCH_micro_alloc.json /
-# BENCH_barrier.json: one record per benchmark with ns/op
+# BENCH_barrier.json / BENCH_parallel.json: one record per benchmark with ns/op
 # (items-per-second inverted) so successive runs can be diffed by eye
 # or by CI. The safe/unsafe split mirrors the paper's Figure 11 axis.
 #
@@ -61,7 +61,7 @@ Release | RelWithDebInfo) ;;
   ;;
 esac
 
-cmake --build "$BUILD_DIR" --target micro_alloc barrier -j >/dev/null
+cmake --build "$BUILD_DIR" --target micro_alloc barrier parallel -j >/dev/null
 
 run_one() {
   # $1 binary name, $2 benchmark filter, $3 output json, $4 ns key
@@ -79,10 +79,11 @@ run_one micro_alloc \
   'BM_Region(Alloc|AllocSafe|AllocSafeRaw|AllocZeroedRaw|BulkDelete|Of.*)$' \
   BENCH_micro_alloc.json ns_per_alloc
 run_one barrier 'BM_' BENCH_barrier.json ns_per_op
+run_one parallel 'BM_' BENCH_parallel.json ns_per_op
 
 if [ "$CHECK" = 1 ]; then
   STATUS=0
-  for NAME in BENCH_micro_alloc.json BENCH_barrier.json; do
+  for NAME in BENCH_micro_alloc.json BENCH_barrier.json BENCH_parallel.json; do
     python3 "$REPO_DIR/bench/check_regression.py" \
       "$REPO_DIR/$NAME" "$OUT_DIR/$NAME" || STATUS=1
   done

@@ -203,6 +203,9 @@ void GcHeap::markWord(std::uintptr_t Word) {
   MarkStack.emplace_back(Page + ChunkIdx * Bytes, Bytes);
 }
 
+// Reads every word between two addresses; when the range is a thread
+// stack this crosses ASan's inter-variable redzones by design, so the
+// scan runs uninstrumented (RGN_NO_SANITIZE_ADDRESS on the declaration).
 void GcHeap::markRange(const void *Begin, const void *End) {
   auto Lo = alignTo(reinterpret_cast<std::uintptr_t>(Begin), sizeof(void *));
   auto Hi = alignDown(reinterpret_cast<std::uintptr_t>(End), sizeof(void *));

@@ -27,6 +27,7 @@
 #define GC_GCHEAP_H
 
 #include "alloc/MallocInterface.h"
+#include "support/Compiler.h"
 
 #include <cstdint>
 #include <vector>
@@ -120,6 +121,9 @@ private:
 
   // Mark phase helpers.
   void markWord(std::uintptr_t Word);
+  // The raw-range scanner must stay uninstrumented under ASan: it
+  // reads every word between two stack addresses, redzones included.
+  RGN_NO_SANITIZE_ADDRESS
   void markRange(const void *Begin, const void *End);
   void markFromRoots();
   void sweep();

@@ -100,3 +100,27 @@ void regions::printManagerReport(const RegionManager &Mgr, std::FILE *Out) {
                S.BarrierStores, S.BarrierSameRegion, S.BarrierAdjustments);
   std::fprintf(Out, "  cleanups run: %" PRIu64 "\n", S.CleanupThunksRun);
 }
+
+void regions::printRsanReport(const RsanReport &Rep, const Region *R,
+                              std::FILE *Out) {
+  if (!Rep.Checked) {
+    std::fprintf(Out,
+                 "region %u: rsan validation skipped (build has no "
+                 "hardened metadata; configure with -DRGN_HARDEN=ON)\n",
+                 R->id());
+    return;
+  }
+  std::fprintf(Out, "region %u: rsan checked %" PRIu64 " object(s): %s\n",
+               R->id(), Rep.ObjectsChecked,
+               Rep.clean() ? "clean" : "VIOLATIONS");
+  if (Rep.RedZoneViolations != 0)
+    std::fprintf(Out,
+                 "  %" PRIu64 " red-zone canary overwrite(s) — a write "
+                 "ran past the end of an allocation\n",
+                 Rep.RedZoneViolations);
+  if (Rep.MetadataViolations != 0)
+    std::fprintf(Out,
+                 "  %" PRIu64 " corrupted size header(s) — wild writes "
+                 "or overflow into object metadata\n",
+                 Rep.MetadataViolations);
+}

@@ -69,6 +69,20 @@ void printDiagnosis(const DeletionDiagnosis &D, Region *R,
 /// Prints a one-page summary of a manager's statistics.
 void printManagerReport(const RegionManager &Mgr, std::FILE *Out = stdout);
 
+/// On-demand rsan validation of one live region (RGN_HARDEN builds;
+/// see support/Harden.h): walks every allocation's size header and
+/// red-zone canary without mutating the region. Without RGN_HARDEN
+/// there is no hardened metadata and the report comes back with
+/// Checked == false. Violations are reported, not fatal — pair with
+/// printRsanReport, or test clean() directly.
+inline RsanReport rsanCheckRegion(const Region *R) {
+  return R->manager().rsanValidate(R, /*FatalOnViolation=*/false);
+}
+
+/// Prints a human-readable rsan validation report (stderr-style).
+void printRsanReport(const RsanReport &Rep, const Region *R,
+                     std::FILE *Out = stderr);
+
 } // namespace regions
 
 #endif // REGION_DEBUG_H

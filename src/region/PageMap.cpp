@@ -60,5 +60,14 @@ Region *regionOfSlow(std::uintptr_t Addr) {
   return nullptr;
 }
 
+void rsanCheckDeref(const void *Ptr, const Region *Expected) {
+  if (!Ptr || !Expected)
+    return;
+  if (RGN_LIKELY(regionOf(Ptr) == Expected))
+    return;
+  reportFatalError("rsan: region pointer dereferenced after its region "
+                   "was deleted (or the pointee's page changed hands)");
+}
+
 } // namespace detail
 } // namespace regions

@@ -70,6 +70,13 @@ void unregisterArena(const void *Base);
 /// refreshes the cache on a hit.
 Region *regionOfSlow(std::uintptr_t Addr);
 
+/// rsan checked dereference (RGN_HARDEN; see support/Harden.h): fatal
+/// unless \p Ptr still resolves to \p Expected in the page map, i.e.
+/// the region a RegionPtr was last assigned under is still live and
+/// still owns the pointee's page. Out of line so the (cold, diagnostic)
+/// check never bloats dereference sites.
+void rsanCheckDeref(const void *Ptr, const Region *Expected);
+
 } // namespace detail
 
 namespace detail {

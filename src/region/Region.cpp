@@ -28,6 +28,10 @@ RegionManager::RegionManager(SafetyConfig Config, std::size_t ReserveBytes)
   if (!Map)
     reportFatalError("RegionManager: cannot allocate page map");
   detail::registerArena(Source.base(), Source.reservedPages(), Map);
+  // Hardened builds quarantine deleted regions' pages by default;
+  // kRsanDefaultQuarantinePages is zero otherwise, so this is a no-op.
+  if (detail::kRsanDefaultQuarantinePages != 0)
+    Source.setQuarantineBudget(detail::kRsanDefaultQuarantinePages);
 }
 
 RegionManager::~RegionManager() {
@@ -106,8 +110,16 @@ char *RegionManager::newPage(Region *R, PageKind Kind) {
   List.Offset = sizeof(PageHeader);
   List.ZeroTail = (Flags & kPageZeroTail) ? 1 : 0;
   setMapRange(Page, 1, R);
-  if (Kind == PageKind::Normal && !(Flags & kPageZeroTail))
+  if constexpr (detail::kRsanEnabled) {
+    // The whole bump tail is out of bounds until allocated from; each
+    // allocation unpoisons exactly its own extent. Str pages also need
+    // the metadata-walk terminator that only normal pages kept before.
+    RGN_ASAN_POISON(Page + List.Offset, kPageSize - List.Offset);
+    if (!(Flags & kPageZeroTail))
+      writeEndMarker(Page, List.Offset);
+  } else if (Kind == PageKind::Normal && !(Flags & kPageZeroTail)) {
     writeEndMarker(Page, List.Offset);
+  }
   return Page;
 }
 
@@ -135,6 +147,8 @@ Region *RegionManager::newRegion() {
                                                  kDefaultAlignment));
   R->Normal.ZeroTail = (Flags & kPageZeroTail) ? 1 : 0;
   headerOf(Page)->ScanStart = R->Normal.Offset;
+  if constexpr (detail::kRsanEnabled)
+    RGN_ASAN_POISON(Page + R->Normal.Offset, kPageSize - R->Normal.Offset);
   if (!(Flags & kPageZeroTail))
     writeEndMarker(Page, R->Normal.Offset);
   setMapRange(Page, 1, R);
@@ -152,16 +166,24 @@ Region *RegionManager::newRegion() {
 }
 
 void *RegionManager::allocRawSlow(Region *R, std::size_t Size, bool Zeroed) {
-  std::size_t Need = alignTo(Size, kDefaultAlignment);
-  if (Need < Size || Need > kPageSize - sizeof(PageHeader))
+  std::size_t Payload = alignTo(Size, kDefaultAlignment);
+  std::size_t Need = detail::kRsanObjOverhead + Payload;
+  if (Payload < Size || Need > kPageSize - sizeof(PageHeader))
     return allocLarge(R, Size, nullptr, Zeroed);
 
   newPage(R, PageKind::Str);
   Region::BumpList &B = R->Str;
-  char *Result = B.Head + B.Offset;
+  char *Base = B.Head + B.Offset;
   B.Offset += static_cast<std::uint32_t>(Need);
+  if constexpr (detail::kRsanEnabled) {
+    RGN_ASAN_UNPOISON(Base, Need);
+    detail::rsanStampObject(Base, Size, Payload);
+    if (!B.ZeroTail)
+      writeEndMarker(B.Head, B.Offset);
+  }
+  char *Result = Base + detail::kRsanSizeHdr;
   if (Zeroed && !B.ZeroTail)
-    std::memset(Result, 0, Need);
+    std::memset(Result, 0, Payload);
   ++R->NumAllocs;
   R->ReqBytes += Size;
   return Result;
@@ -170,32 +192,36 @@ void *RegionManager::allocRawSlow(Region *R, std::size_t Size, bool Zeroed) {
 void *RegionManager::allocScannedSlow(Region *R, std::size_t Size,
                                       ScanThunk Thunk) {
   std::size_t Payload = alignTo(Size, kDefaultAlignment);
-  std::size_t Need = sizeof(ScanThunk) + Payload;
+  std::size_t Need = sizeof(ScanThunk) + detail::kRsanObjOverhead + Payload;
   if (Payload < Size || Need > kPageSize - sizeof(PageHeader))
     return allocLarge(R, Size, Thunk, false);
 
   newPage(R, PageKind::Normal);
   Region::BumpList &B = R->Normal;
   char *Base = B.Head + B.Offset;
+  RGN_ASAN_UNPOISON(Base, Need);
   *reinterpret_cast<ScanThunk *>(Base) = Thunk;
+  detail::rsanStampObject(Base + sizeof(ScanThunk), Size, Payload);
   B.Offset += static_cast<std::uint32_t>(Need);
+  char *Result = Base + sizeof(ScanThunk) + detail::kRsanSizeHdr;
   if (!B.ZeroTail) {
     writeEndMarker(B.Head, B.Offset);
     if (Cfg.ZeroMemory)
-      std::memset(Base + sizeof(ScanThunk), 0, Payload);
+      std::memset(Result, 0, Payload);
   }
   ++R->NumAllocs;
   R->ReqBytes += Size;
-  return Base + sizeof(ScanThunk);
+  return Result;
 }
 
 void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
                                 bool Zeroed) {
   std::size_t Aligned = alignTo(Size, kDefaultAlignment);
   if (Aligned < Size ||
-      Aligned > SIZE_MAX - detail::kLargePayloadOff - kPageSize)
+      Aligned > SIZE_MAX - detail::kLargePayloadOff - detail::kRsanRedZone -
+                    kPageSize)
     reportFatalError("region allocation size overflows");
-  std::size_t Total = detail::kLargePayloadOff + Aligned;
+  std::size_t Total = detail::kLargePayloadOff + Aligned + detail::kRsanRedZone;
   std::size_t NumPages = alignTo(Total, kPageSize) / kPageSize;
   bool PagesZeroed = false;
   char *Block = static_cast<char *>(Source.allocPages(NumPages, &PagesZeroed));
@@ -206,6 +232,7 @@ void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
   *reinterpret_cast<std::size_t *>(Block + detail::kLargeNumPagesOff) =
       NumPages;
   *reinterpret_cast<ScanThunk *>(Block + detail::kLargeThunkOff) = Thunk;
+  detail::rsanStampObject(Block + detail::kLargeSizeOff, Size, Aligned);
   setMapRange(Block, NumPages, R);
   if ((Zeroed || (Thunk && Cfg.ZeroMemory)) && !PagesZeroed)
     std::memset(Block + detail::kLargePayloadOff, 0, Aligned);
@@ -241,16 +268,23 @@ const RegionStats &RegionManager::stats() const {
 void RegionManager::runCleanups(Region *R) {
   std::uint64_t ThunksRun = 0;
   // Normal pages: walk object headers until the NULL marker (Figure 7).
+  // Hardened objects interleave a size header and a red zone with the
+  // thunk/payload pair; both constants are zero when hardening is off.
   for (char *Page = R->Normal.Head; Page; Page = headerOf(Page)->Next) {
+    // The region is dying: lift the page's ASan protection wholesale so
+    // the walk can read the terminator in a never-allocated tail.
+    RGN_ASAN_UNPOISON(Page, kPageSize);
     std::uint32_t Off = headerOf(Page)->ScanStart;
     while (Off + sizeof(ScanThunk) <= kPageSize) {
       ScanThunk Thunk = *reinterpret_cast<ScanThunk *>(Page + Off);
       if (!Thunk)
         break;
-      Off += sizeof(ScanThunk);
+      Off += static_cast<std::uint32_t>(sizeof(ScanThunk) +
+                                        detail::kRsanSizeHdr);
       std::size_t Used = Thunk(Page + Off);
       ++ThunksRun;
-      Off += static_cast<std::uint32_t>(alignTo(Used, kDefaultAlignment));
+      Off += static_cast<std::uint32_t>(alignTo(Used, kDefaultAlignment) +
+                                        detail::kRsanRedZone);
     }
   }
   // Large objects carry a single optional thunk each.
@@ -320,6 +354,14 @@ void RegionManager::freeRegionMemory(Region *R) {
 bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
                                      bool HandleCounted,
                                      const rt::SlotNode *HandleNode) {
+  if constexpr (detail::kRsanEnabled) {
+    // Diagnose a double deleteregion *before* any member access: R's
+    // storage is quarantined poison by now, and the page map no longer
+    // (or no longer exclusively) maps its address back to R.
+    if (!R || regionOf(static_cast<const void *>(R)) != R)
+      reportFatalError("rsan: deleteregion on a region that is not live "
+                       "(double delete, or a stale/corrupted handle)");
+  }
   assert(R && R->Mgr == this && "deleting a foreign or null region");
   ++Stats.DeleteAttempts;
 
@@ -351,12 +393,113 @@ bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
     }
   }
 
+  // The deletion will go ahead: check every allocation's red zone and
+  // size header while the metadata is still reachable. Violations are
+  // fatal — freeing the region would destroy the evidence.
+  if constexpr (detail::kRsanEnabled)
+    rsanValidate(R, /*FatalOnViolation=*/true);
+
   if (Cfg.CleanupScan)
     runCleanups(R);
   if (HandleSlot)
     *HandleSlot = nullptr; // cleared without barrier: the count dies with R
   freeRegionMemory(R);
   return true;
+}
+
+RsanReport RegionManager::rsanValidate(const Region *R,
+                                       bool FatalOnViolation) const {
+  RsanReport Rep;
+#if !RGN_HARDEN_ENABLED
+  (void)R;
+  (void)FatalOnViolation;
+#else
+  Rep.Checked = true;
+  // Probing a live region (non-fatal mode) must leave the ASan poison
+  // state as it found it; in fatal mode the caller is deleteregion and
+  // the pages are about to be freed, which unpoisons them anyway.
+  const bool Restore = !FatalOnViolation;
+
+  // Validates one object's tagged size header and red-zone canary.
+  // \p Hdr points at the size header, \p Limit is the space left in the
+  // enclosing page run. Returns the bytes to advance past \p Hdr, or 0
+  // when the metadata is too corrupt to continue the walk.
+  auto CheckObject = [&](const char *Hdr, std::size_t Limit) -> std::size_t {
+    std::size_t Word = *reinterpret_cast<const std::size_t *>(Hdr);
+    std::size_t Size = detail::rsanTaggedSize(Word);
+    std::size_t Payload = alignTo(Size, kDefaultAlignment);
+    std::size_t Need = detail::kRsanSizeHdr + Payload + detail::kRsanRedZone;
+    if (!detail::rsanTagValid(Word) || Payload < Size || Need > Limit) {
+      ++Rep.MetadataViolations;
+      if (FatalOnViolation)
+        reportFatalError("rsan: allocation size header corrupted "
+                         "(wild write, or overflow into object metadata)");
+      return 0;
+    }
+    const char *RedZone = Hdr + detail::kRsanSizeHdr + Payload;
+    RGN_ASAN_UNPOISON(RedZone, detail::kRsanRedZone);
+    bool Intact = true;
+    for (std::size_t I = 0; I != detail::kRsanRedZone; ++I)
+      Intact &= static_cast<unsigned char>(RedZone[I]) ==
+                detail::kRsanRedZoneCanary;
+    if (Restore)
+      RGN_ASAN_POISON(RedZone, detail::kRsanRedZone);
+    if (!Intact) {
+      ++Rep.RedZoneViolations;
+      if (FatalOnViolation)
+        reportFatalError("rsan: red-zone canary overwritten "
+                         "(buffer overflow past the end of an allocation)");
+    }
+    ++Rep.ObjectsChecked;
+    return Need;
+  };
+
+  // Normal pages: [thunk][size hdr][payload][red zone] repeating until
+  // the NULL thunk marker (or the zero tail standing in for it).
+  for (char *Page = R->Normal.Head; Page; Page = headerOf(Page)->Next) {
+    RGN_ASAN_UNPOISON(Page, kPageSize);
+    std::uint32_t Off = headerOf(Page)->ScanStart;
+    while (Off + sizeof(ScanThunk) <= kPageSize) {
+      ScanThunk Thunk = *reinterpret_cast<ScanThunk *>(Page + Off);
+      if (!Thunk)
+        break;
+      Off += static_cast<std::uint32_t>(sizeof(ScanThunk));
+      std::size_t Adv = CheckObject(Page + Off, kPageSize - Off);
+      if (!Adv)
+        break;
+      Off += static_cast<std::uint32_t>(Adv);
+    }
+    if (Restore)
+      RGN_ASAN_POISON(Page + Off, kPageSize - Off);
+  }
+
+  // Str pages: headerless in the lean build, but hardened objects still
+  // carry [size hdr][payload][red zone]; a zero word terminates (a
+  // valid header is never zero thanks to the tag bit).
+  for (char *Page = R->Str.Head; Page; Page = headerOf(Page)->Next) {
+    RGN_ASAN_UNPOISON(Page, kPageSize);
+    std::uint32_t Off = headerOf(Page)->ScanStart;
+    while (Off + detail::kRsanSizeHdr <= kPageSize) {
+      if (*reinterpret_cast<const std::size_t *>(Page + Off) == 0)
+        break;
+      std::size_t Adv = CheckObject(Page + Off, kPageSize - Off);
+      if (!Adv)
+        break;
+      Off += static_cast<std::uint32_t>(Adv);
+    }
+    if (Restore)
+      RGN_ASAN_POISON(Page + Off, kPageSize - Off);
+  }
+
+  // Large blocks: exactly one hardened object each.
+  for (char *Block = R->LargeHead; Block; Block = headerOf(Block)->Next) {
+    std::size_t NumPages =
+        *reinterpret_cast<const std::size_t *>(Block + detail::kLargeNumPagesOff);
+    CheckObject(Block + detail::kLargeSizeOff,
+                NumPages * kPageSize - detail::kLargeSizeOff);
+  }
+#endif
+  return Rep;
 }
 
 char *regions::rstrdup(Region *R, const char *S) {

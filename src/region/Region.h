@@ -37,6 +37,7 @@
 #include "region/PageMap.h"
 #include "support/Align.h"
 #include "support/Compiler.h"
+#include "support/Harden.h"
 #include "support/PageSource.h"
 
 #include <cassert>
@@ -114,6 +115,26 @@ struct RegionStats {
   std::uint64_t BarrierStores = 0;        ///< barriered pointer stores
   std::uint64_t BarrierSameRegion = 0;    ///< stores skipped as sameregion
   std::uint64_t BarrierAdjustments = 0;   ///< actual count increments+decrements
+};
+
+/// Result of an rsan validation walk over one region (RGN_HARDEN
+/// builds; see RegionManager::rsanValidate and rsanCheckRegion in
+/// region/Debug.h).
+struct RsanReport {
+  /// False when the build has no hardened metadata to check
+  /// (RGN_HARDEN off): the walk was skipped, the counters mean nothing.
+  bool Checked = false;
+  std::uint64_t ObjectsChecked = 0;
+  /// Objects whose red-zone canary was overwritten (heap overflow past
+  /// the payload).
+  std::uint64_t RedZoneViolations = 0;
+  /// Corrupted size headers (an overflow that reached the *next*
+  /// object's metadata, or a wild write).
+  std::uint64_t MetadataViolations = 0;
+
+  bool clean() const {
+    return RedZoneViolations == 0 && MetadataViolations == 0;
+  }
 };
 
 /// A region: a set of pages freed all at once. Instances live inside
@@ -254,16 +275,49 @@ inline PageHeader *headerOf(char *Page) {
 }
 
 /// Writes the NULL end marker the region scan stops at (Figure 7), if
-/// there is room for another object header on the page.
+/// there is room for another object header on the page. Hardened
+/// builds reuse the same zero word as the str-page walk terminator (a
+/// zero size-header word), and must lift the ASan bump-tail protection
+/// covering the marker slot before storing into it.
 inline void writeEndMarker(char *Page, std::uint32_t Offset) {
-  if (Offset + sizeof(ScanThunk) <= kPageSize)
+  if (Offset + sizeof(ScanThunk) <= kPageSize) {
+    RGN_ASAN_UNPOISON(Page + Offset, sizeof(ScanThunk));
     *reinterpret_cast<ScanThunk *>(Page + Offset) = nullptr;
+  }
 }
 
-/// Large-object block: [PageHeader][NumPages][ScanThunk][payload...].
+/// Large-object block:
+///   [PageHeader][NumPages][ScanThunk][payload...]            (lean)
+///   [PageHeader][NumPages][ScanThunk][size hdr][payload][red zone]
+///                                                           (hardened)
 inline constexpr std::size_t kLargeNumPagesOff = sizeof(PageHeader);
 inline constexpr std::size_t kLargeThunkOff = kLargeNumPagesOff + 8;
-inline constexpr std::size_t kLargePayloadOff = kLargeThunkOff + 8;
+inline constexpr std::size_t kLargeSizeOff = kLargeThunkOff + 8;
+inline constexpr std::size_t kLargePayloadOff = kLargeSizeOff + kRsanSizeHdr;
+
+//===----------------------------------------------------------------------===//
+// rsan object layout (RGN_HARDEN; all of it folds away when off)
+//===----------------------------------------------------------------------===//
+
+/// Stamps the hardened per-object metadata around a payload: the
+/// tagged size header at \p Hdr and the canary-filled red zone right
+/// after the \p Payload aligned bytes. The red zone is additionally
+/// ASan-poisoned so an overflowing *read or write* traps immediately
+/// under RGN_SANITIZE=address; without ASan the overwrite is caught by
+/// the validation walk at deleteregion / rsanCheckRegion time.
+RGN_ALWAYS_INLINE void rsanStampObject(char *Hdr, std::size_t Size,
+                                       std::size_t Payload) {
+#if RGN_HARDEN_ENABLED
+  *reinterpret_cast<std::size_t *>(Hdr) = rsanTagSize(Size);
+  char *RedZone = Hdr + kRsanSizeHdr + Payload;
+  std::memset(RedZone, kRsanRedZoneCanary, kRsanRedZone);
+  RGN_ASAN_POISON(RedZone, kRsanRedZone);
+#else
+  (void)Hdr;
+  (void)Size;
+  (void)Payload;
+#endif
+}
 
 //===----------------------------------------------------------------------===//
 // Buffered exact counting
@@ -477,10 +531,41 @@ public:
   std::size_t liveRegionCount() const { return Stats.LiveRegions; }
 
   /// Largest size allocScanned serves from a normal page; bigger
-  /// requests take the large-object path transparently.
+  /// requests take the large-object path transparently. Hardened
+  /// builds shave off the per-object size header and red zone.
   static constexpr std::size_t maxSmallAlloc() {
-    return kPageSize - sizeof(detail::PageHeader) - sizeof(ScanThunk);
+    return kPageSize - sizeof(detail::PageHeader) - sizeof(ScanThunk) -
+           detail::kRsanObjOverhead;
   }
+
+  /// Largest size allocRaw serves from a str page.
+  static constexpr std::size_t maxRawAlloc() {
+    return kPageSize - sizeof(detail::PageHeader) - detail::kRsanObjOverhead;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // rsan (RGN_HARDEN builds; every entry point is a cheap no-op when off)
+  //===--------------------------------------------------------------------===//
+
+  /// Walks \p R's hardened per-object metadata (size headers, red-zone
+  /// canaries) across normal, str, and large pages without running any
+  /// cleanup. With \p FatalOnViolation the first corruption aborts via
+  /// reportFatalError; otherwise violations are tallied in the report.
+  /// Without RGN_HARDEN there is no metadata: returns Checked = false.
+  RsanReport rsanValidate(const Region *R, bool FatalOnViolation = false) const;
+
+  /// Re-budgets this manager's page quarantine (0 disables; deleted
+  /// regions' pages then recycle immediately as in unhardened builds).
+  void setQuarantineBudget(std::size_t Pages) {
+    Source.setQuarantineBudget(Pages);
+  }
+
+  /// Pages of deleted regions currently held poisoned in quarantine.
+  std::size_t quarantinedPages() const { return Source.quarantinedPages(); }
+
+  /// Force-evicts the whole quarantine into the free lists (tests use
+  /// this to provoke reuse of a specific deleted region's pages).
+  void drainQuarantine() { Source.drainQuarantine(); }
 
 private:
   char *newPage(Region *R, detail::PageKind Kind);
@@ -508,17 +593,30 @@ private:
 // Allocation fast paths (paper §4.1: "about 16 instructions")
 //===----------------------------------------------------------------------===//
 
+// Hardened builds widen each object to [size hdr][payload][red zone]
+// (str) or [thunk][size hdr][payload][red zone] (normal); the kRsan*
+// constants are zero otherwise, so the shared arithmetic below
+// constant-folds back to the lean layout and these paths compile to
+// exactly the unhardened instructions.
+
 RGN_ALWAYS_INLINE void *RegionManager::allocRaw(Region *R, std::size_t Size) {
   assert(R && R->Mgr == this && "region belongs to another manager");
   Region::BumpList &B = R->Str;
-  std::size_t Need = alignTo(Size, kDefaultAlignment);
-  if (RGN_LIKELY(B.Head && Size <= kPageSize - sizeof(detail::PageHeader) &&
+  std::size_t Payload = alignTo(Size, kDefaultAlignment);
+  std::size_t Need = detail::kRsanObjOverhead + Payload;
+  if (RGN_LIKELY(B.Head && Size <= maxRawAlloc() &&
                  B.Offset + Need <= kPageSize)) {
-    char *Result = B.Head + B.Offset;
+    char *Base = B.Head + B.Offset;
     B.Offset += static_cast<std::uint32_t>(Need);
     ++R->NumAllocs;
     R->ReqBytes += Size;
-    return Result;
+    if constexpr (detail::kRsanEnabled) {
+      RGN_ASAN_UNPOISON(Base, Need);
+      detail::rsanStampObject(Base, Size, Payload);
+      if (!B.ZeroTail) // terminate the str-page metadata walk
+        detail::writeEndMarker(B.Head, B.Offset);
+    }
+    return Base + detail::kRsanSizeHdr;
   }
   return allocRawSlow(R, Size, /*Zeroed=*/false);
 }
@@ -526,13 +624,21 @@ RGN_ALWAYS_INLINE void *RegionManager::allocRaw(Region *R, std::size_t Size) {
 RGN_ALWAYS_INLINE void *RegionManager::allocRawZeroed(Region *R, std::size_t Size) {
   assert(R && R->Mgr == this && "region belongs to another manager");
   Region::BumpList &B = R->Str;
-  std::size_t Need = alignTo(Size, kDefaultAlignment);
-  if (RGN_LIKELY(B.Head && Size <= kPageSize - sizeof(detail::PageHeader) &&
+  std::size_t Payload = alignTo(Size, kDefaultAlignment);
+  std::size_t Need = detail::kRsanObjOverhead + Payload;
+  if (RGN_LIKELY(B.Head && Size <= maxRawAlloc() &&
                  B.Offset + Need <= kPageSize)) {
-    char *Result = B.Head + B.Offset;
+    char *Base = B.Head + B.Offset;
     B.Offset += static_cast<std::uint32_t>(Need);
+    if constexpr (detail::kRsanEnabled) {
+      RGN_ASAN_UNPOISON(Base, Need);
+      detail::rsanStampObject(Base, Size, Payload);
+      if (!B.ZeroTail)
+        detail::writeEndMarker(B.Head, B.Offset);
+    }
+    char *Result = Base + detail::kRsanSizeHdr;
     if (!B.ZeroTail)
-      std::memset(Result, 0, Need);
+      std::memset(Result, 0, Payload);
     ++R->NumAllocs;
     R->ReqBytes += Size;
     return Result;
@@ -546,20 +652,23 @@ RGN_ALWAYS_INLINE void *RegionManager::allocScanned(Region *R, std::size_t Size,
   assert(Thunk && "scanned allocations need a cleanup thunk");
   Region::BumpList &B = R->Normal;
   std::size_t Payload = alignTo(Size, kDefaultAlignment);
-  std::size_t Need = sizeof(ScanThunk) + Payload;
+  std::size_t Need = sizeof(ScanThunk) + detail::kRsanObjOverhead + Payload;
   if (RGN_LIKELY(B.Head && Size <= maxSmallAlloc() &&
                  B.Offset + Need <= kPageSize)) {
     char *Base = B.Head + B.Offset;
+    RGN_ASAN_UNPOISON(Base, Need);
     *reinterpret_cast<ScanThunk *>(Base) = Thunk;
+    detail::rsanStampObject(Base + sizeof(ScanThunk), Size, Payload);
     B.Offset += static_cast<std::uint32_t>(Need);
+    char *Result = Base + sizeof(ScanThunk) + detail::kRsanSizeHdr;
     if (!B.ZeroTail) {
       detail::writeEndMarker(B.Head, B.Offset);
       if (Cfg.ZeroMemory)
-        std::memset(Base + sizeof(ScanThunk), 0, Payload);
+        std::memset(Result, 0, Payload);
     }
     ++R->NumAllocs;
     R->ReqBytes += Size;
-    return Base + sizeof(ScanThunk);
+    return Result;
   }
   return allocScannedSlow(R, Size, Thunk);
 }

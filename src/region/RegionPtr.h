@@ -105,8 +105,14 @@ public:
   ~RegionPtr() { assign(nullptr); }
 
   T *get() const { return Raw; }
-  T &operator*() const { return *Raw; }
-  T *operator->() const { return Raw; }
+  T &operator*() const {
+    rsanCheck();
+    return *Raw;
+  }
+  T *operator->() const {
+    rsanCheck();
+    return Raw;
+  }
   explicit operator bool() const { return Raw != nullptr; }
   operator T *() const { return Raw; }
 
@@ -117,9 +123,26 @@ private:
   void assign(T *Ptr) {
     detail::barrierAssign(reinterpret_cast<void **>(&Raw),
                           const_cast<void *>(static_cast<const void *>(Ptr)));
+#if RGN_HARDEN_ENABLED
+    RsanR = regionOf(static_cast<const void *>(Ptr));
+#endif
   }
 
-  T *Raw = nullptr;
+  /// rsan checked dereference: only `*` and `->` are checked — `get()`
+  /// and the implicit conversion stay free so comparisons and hashing
+  /// of stale pointers (legal, common) raise no false alarms.
+  void rsanCheck() const {
+#if RGN_HARDEN_ENABLED
+    detail::rsanCheckDeref(Raw, RsanR);
+#endif
+  }
+
+  T *Raw = nullptr; // first member: slotAddress() aliases the object
+#if RGN_HARDEN_ENABLED
+  /// The pointee's region as of the last assignment; a dereference
+  /// re-resolves Raw through the page map and must find it again.
+  Region *RsanR = nullptr;
+#endif
 };
 
 namespace rt {
@@ -211,17 +234,37 @@ public:
   }
   SameRegionPtr &operator=(std::nullptr_t) {
     Raw = nullptr;
+#if RGN_HARDEN_ENABLED
+    RsanR = nullptr;
+#endif
     return *this;
   }
 
   T *get() const { return Raw; }
-  T &operator*() const { return *Raw; }
-  T *operator->() const { return Raw; }
+  T &operator*() const {
+    rsanCheck();
+    return *Raw;
+  }
+  T *operator->() const {
+    rsanCheck();
+    return Raw;
+  }
   explicit operator bool() const { return Raw != nullptr; }
   operator T *() const { return Raw; }
 
 private:
   void assign(T *Ptr) {
+#if RGN_HARDEN_ENABLED
+    // Hardened builds turn a violated containment claim from UB (a
+    // skipped count that later manifests as a use-after-delete) into an
+    // immediate diagnosed error, in release configurations too.
+    Region *Home = regionOf(static_cast<void *>(this));
+    if (Ptr && Home && regionOf(static_cast<const void *>(Ptr)) != Home)
+      reportFatalError("rsan: SameRegionPtr assigned a pointer from "
+                       "outside its own region (escaping sameregion "
+                       "claim; the store needed a counted barrier)");
+    RsanR = Ptr ? regionOf(static_cast<const void *>(Ptr)) : nullptr;
+#endif
     assert((!Ptr || regionOf(static_cast<void *>(this)) == nullptr ||
             regionOf(static_cast<const void *>(Ptr)) ==
                 regionOf(static_cast<void *>(this))) &&
@@ -229,7 +272,16 @@ private:
     Raw = Ptr;
   }
 
+  void rsanCheck() const {
+#if RGN_HARDEN_ENABLED
+    detail::rsanCheckDeref(Raw, RsanR);
+#endif
+  }
+
   T *Raw = nullptr;
+#if RGN_HARDEN_ENABLED
+  Region *RsanR = nullptr;
+#endif
 };
 
 static_assert(std::is_trivially_destructible_v<SameRegionPtr<int>>,

@@ -26,6 +26,33 @@
 /// handful of instructions at every call site, per the paper's §4.1).
 #define RGN_ALWAYS_INLINE inline __attribute__((always_inline))
 
+/// Exempts a function from ASan instrumentation. Conservative stack
+/// scanning must read every word between two stack addresses, which
+/// necessarily crosses the redzones ASan plants between locals; the
+/// reads are intentional and bounded, so the scanner opts out (the
+/// same arrangement every conservative collector ships with).
+///
+/// noinline is part of the contract: the attribute does not survive
+/// inlining into an instrumented caller (GCC instruments per function
+/// *after* inlining), so an inlined copy of the scanner would be
+/// sanitized again.
+/// __SANITIZE_ADDRESS__ is tested first: GCC's <sanitizer/*.h> headers
+/// define a __has_feature(x)=0 compatibility shim, so once any of them
+/// has been included the __has_feature branch would silently evaluate
+/// to "no ASan" on GCC.
+#if defined(__SANITIZE_ADDRESS__)
+#define RGN_NO_SANITIZE_ADDRESS                                                \
+  __attribute__((noinline, no_sanitize_address))
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RGN_NO_SANITIZE_ADDRESS                                                \
+  __attribute__((noinline, no_sanitize("address")))
+#endif
+#endif
+#ifndef RGN_NO_SANITIZE_ADDRESS
+#define RGN_NO_SANITIZE_ADDRESS
+#endif
+
 /// C++20 constinit where available. It only *asserts* static
 /// initialization (the zero-initialized thread-locals it marks are
 /// statically initialized either way), so C++17 consumers of the

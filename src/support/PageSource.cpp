@@ -8,6 +8,7 @@
 #include "support/Compiler.h"
 
 #include <cassert>
+#include <cstring>
 #include <sys/mman.h>
 
 using namespace regions;
@@ -22,8 +23,14 @@ PageSource::PageSource(std::size_t ReserveBytes) {
 }
 
 PageSource::~PageSource() {
-  if (ArenaBase)
+  if (ArenaBase) {
+    // ASan's shadow is not cleared by munmap: a later mmap that lands
+    // on this address range would inherit the quarantine/red-zone
+    // poison and trap on its first legitimate access. Clear the whole
+    // arena's shadow before giving the range back to the OS.
+    RGN_ASAN_UNPOISON(ArenaBase, TotalPages * kPageSize);
     munmap(ArenaBase, TotalPages * kPageSize);
+  }
 }
 
 void *PageSource::allocPages(std::size_t NumPages, bool *Zeroed) {
@@ -84,15 +91,84 @@ void PageSource::freePages(void *Ptr, std::size_t NumPages) {
   PagesInUse -= NumPages;
 
   auto Idx = static_cast<std::uint32_t>(pageIndex(Ptr));
+  if constexpr (detail::kRsanEnabled) {
+    // Region pages come back with ASan-poisoned red zones and bump
+    // tails; shed that state here so the run re-enters circulation
+    // uniformly poisoned (quarantine) or plainly dirty (free lists).
+    RGN_ASAN_UNPOISON(Ptr, NumPages * kPageSize);
+    if (QuarantineBudget != 0) {
+      quarantineRun(Idx, NumPages);
+      return;
+    }
+  }
+  recycleRun(Idx, NumPages);
+}
+
+void PageSource::recycleRun(std::uint32_t PageIdx, std::size_t NumPages) {
   if (NumPages == 1 && NumCachedPages != kPageCacheCap) {
-    PageCache[NumCachedPages++] = Idx;
+    PageCache[NumCachedPages++] = PageIdx;
     return;
   }
   if (NumPages <= kMaxBin) {
-    Bins[NumPages].push_back(Idx);
+    Bins[NumPages].push_back(PageIdx);
     return;
   }
-  LargeRuns.push_back({Idx, static_cast<std::uint32_t>(NumPages)});
+  LargeRuns.push_back({PageIdx, static_cast<std::uint32_t>(NumPages)});
+}
+
+void PageSource::quarantineRun(std::uint32_t PageIdx, std::size_t NumPages) {
+  // Poison first, then protect: every byte of a quarantined run reads
+  // as 0xD5, and under ASan any touch is reported at the faulting
+  // instruction. Poisoning writes to the page, but every freed page was
+  // handed out before and so already sits below ZeroHighWater — the
+  // never-touched zero-state can never be claimed for it again.
+  assert(static_cast<std::size_t>(PageIdx) + NumPages <= ZeroHighWater &&
+         "quarantining a page that was never handed out");
+  std::memset(pageAt(PageIdx), detail::kRsanQuarantinePoison,
+              NumPages * kPageSize);
+  RGN_ASAN_POISON(pageAt(PageIdx), NumPages * kPageSize);
+  Quarantine.push_back({PageIdx, static_cast<std::uint32_t>(NumPages)});
+  NumQuarantinedPages += NumPages;
+  while (NumQuarantinedPages > QuarantineBudget)
+    evictOldestQuarantined();
+}
+
+void PageSource::evictOldestQuarantined() {
+  assert(QuarantineHead < Quarantine.size() && "quarantine is empty");
+  Run R = Quarantine[QuarantineHead++];
+  NumQuarantinedPages -= R.NumPages;
+  // The 0xD5 bytes stay — the page is merely dirty, and every recycled
+  // path reports dirty pages as non-zero — but the ASan protection must
+  // lift before the next owner touches it.
+  RGN_ASAN_UNPOISON(pageAt(R.PageIdx), R.NumPages * kPageSize);
+  recycleRun(R.PageIdx, R.NumPages);
+  // Compact once the dead prefix dominates the live tail.
+  if (QuarantineHead >= 64 && QuarantineHead * 2 >= Quarantine.size()) {
+    Quarantine.erase(Quarantine.begin(),
+                     Quarantine.begin() +
+                         static_cast<std::ptrdiff_t>(QuarantineHead));
+    QuarantineHead = 0;
+  }
+}
+
+void PageSource::setQuarantineBudget(std::size_t Pages) {
+  QuarantineBudget = Pages;
+  while (NumQuarantinedPages > QuarantineBudget)
+    evictOldestQuarantined();
+}
+
+void PageSource::drainQuarantine() {
+  while (NumQuarantinedPages != 0)
+    evictOldestQuarantined();
+}
+
+void PageSource::releaseQuarantinedPages() {
+  for (std::size_t I = QuarantineHead, E = Quarantine.size(); I != E; ++I) {
+    const Run &R = Quarantine[I];
+    // The pages will read as zero once re-touched; they stay below
+    // ZeroHighWater, so nothing ever reports them as zeroed either way.
+    madvise(pageAt(R.PageIdx), R.NumPages * kPageSize, MADV_DONTNEED);
+  }
 }
 
 void PageSource::resetForTesting() {
@@ -104,4 +180,12 @@ void PageSource::resetForTesting() {
   for (auto &Bin : Bins)
     Bin.clear();
   LargeRuns.clear();
+  // Quarantined runs rejoin the (reset) arena; lift their ASan
+  // protection so the rewound frontier can hand them out again.
+  for (std::size_t I = QuarantineHead, E = Quarantine.size(); I != E; ++I)
+    RGN_ASAN_UNPOISON(pageAt(Quarantine[I].PageIdx),
+                      Quarantine[I].NumPages * kPageSize);
+  Quarantine.clear();
+  QuarantineHead = 0;
+  NumQuarantinedPages = 0;
 }

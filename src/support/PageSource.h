@@ -25,12 +25,26 @@
 /// common case for region pages — recycle through a small inline cache
 /// in front of the bins, avoiding the vector round-trip.
 ///
+/// rsan quarantine (RGN_HARDEN builds, see support/Harden.h): when a
+/// source is given a non-zero quarantine budget, freed runs are
+/// byte-poisoned with 0xD5, ASan-poisoned when available, and parked in
+/// a FIFO instead of entering the free lists; use-after-free of a page
+/// then reads poison deterministically instead of whatever a recycled
+/// page happens to hold. When the budget overflows, the *oldest* runs
+/// are unpoisoned (ASan only — the 0xD5 bytes stay, the page is simply
+/// dirty) and recycled through the normal bins. Quarantined runs are
+/// only ever released through that eviction path or resetForTesting, so
+/// a page can never be handed out still claiming the never-touched
+/// zero-state: every quarantined page was handed out before, which
+/// already puts it below the zero high-water mark for good.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_PAGESOURCE_H
 #define SUPPORT_PAGESOURCE_H
 
 #include "support/Align.h"
+#include "support/Harden.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -101,6 +115,28 @@ public:
   /// (exposed for tests).
   std::size_t cachedSinglePages() const { return NumCachedPages; }
 
+  /// Sets the quarantine budget in pages and evicts down to it. A
+  /// budget of zero disables the quarantine (freed runs recycle
+  /// immediately, as in unhardened builds). Without RGN_HARDEN freed
+  /// runs never quarantine regardless of the budget.
+  void setQuarantineBudget(std::size_t Pages);
+
+  /// Pages currently held in quarantine (always zero without
+  /// RGN_HARDEN or with a zero budget).
+  std::size_t quarantinedPages() const { return NumQuarantinedPages; }
+
+  /// Evicts every quarantined run into the free lists (oldest first),
+  /// without changing the budget. Tests use this to force reuse of a
+  /// specific previously-freed page.
+  void drainQuarantine();
+
+  /// madvise(MADV_DONTNEED)s every quarantined run, returning its
+  /// physical memory to the OS while keeping the run quarantined. The
+  /// pages then read as zero rather than poison until evicted — weaker
+  /// use-after-free detection in exchange for a bounded RSS, for
+  /// long-running hardened processes.
+  void releaseQuarantinedPages();
+
 private:
   /// Free runs are binned by exact length up to kMaxBin; longer runs go
   /// to the overflow list and are carved first-fit.
@@ -118,6 +154,16 @@ private:
     return ArenaBase + Index * kPageSize;
   }
 
+  /// The pre-quarantine free path: cache, exact bin, or large list.
+  void recycleRun(std::uint32_t PageIdx, std::size_t NumPages);
+
+  /// Poisons \p NumPages pages at \p PageIdx and appends them to the
+  /// quarantine FIFO, evicting the oldest runs past the budget.
+  void quarantineRun(std::uint32_t PageIdx, std::size_t NumPages);
+
+  /// Unpoisons (ASan) and recycles the oldest quarantined run.
+  void evictOldestQuarantined();
+
   char *ArenaBase = nullptr;
   std::size_t TotalPages = 0;
   std::size_t Frontier = 0;   ///< pages [0, Frontier) have been handed out
@@ -127,6 +173,12 @@ private:
   std::uint32_t PageCache[kPageCacheCap]; ///< recycled single pages (LIFO)
   std::vector<std::uint32_t> Bins[kMaxBin + 1]; ///< Bins[n]: runs of n pages
   std::vector<Run> LargeRuns; ///< runs longer than kMaxBin pages
+  // rsan quarantine state. The FIFO is a vector with a consuming head
+  // index, compacted when the dead prefix dominates.
+  std::vector<Run> Quarantine;        ///< [QuarantineHead, end) are live
+  std::size_t QuarantineHead = 0;     ///< index of the oldest live run
+  std::size_t NumQuarantinedPages = 0;
+  std::size_t QuarantineBudget = 0;   ///< pages; 0 disables quarantining
 };
 
 } // namespace regions

@@ -33,6 +33,12 @@ struct Tracked {
 };
 
 struct RegionTest : ::testing::Test {
+  RegionTest() {
+    // These tests assert immediate page recycling; disable the rsan
+    // quarantine (a no-op in unhardened builds) so deleted regions'
+    // pages reach the free lists right away.
+    Mgr.setQuarantineBudget(0);
+  }
   RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
 };
 
