@@ -14,7 +14,7 @@ debug-vs-release diff measures the compiler, not the change.
 import json
 import sys
 
-NS_KEYS = ("ns_per_alloc", "ns_per_op")
+NS_KEYS = ("ns_per_alloc", "ns_per_op", "ns_per_page")
 
 
 def load(path):
@@ -22,9 +22,11 @@ def load(path):
         data = json.load(f)
     rows = {}
     for r in data.get("results", []):
-        # Thread-family records share a name; the thread count keeps
-        # them distinct (and readable in the report).
+        # Thread- and size-family records share a name; the arg/thread
+        # suffixes keep them distinct (and readable in the report).
         label = r["name"]
+        if "arg" in r:
+            label = f"{label}/{r['arg']}"
         if "threads" in r:
             label = f"{label}/threads:{r['threads']}"
         for key in NS_KEYS:

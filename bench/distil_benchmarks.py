@@ -27,6 +27,10 @@ CONFIG = {
     "BM_RegionOfAlternatingArenas": "safe",
     "BM_RawPointerStore": "none",
     "BM_SameRegionPtrStore": "safe",
+    "BM_RegionTeardownSafe": "safe",
+    "BM_RegionTeardownRaw": "unsafe",
+    "BM_RegionCycleSafe": "safe",
+    "BM_RegionCycleRaw": "unsafe",
 }
 
 
@@ -43,15 +47,23 @@ def main():
         parts = b["name"].split("/")
         name = parts[0]
         threads = None
+        args = []
         for p in parts[1:]:
             if p.startswith("threads:"):
                 threads = int(p.split(":", 1)[1])
+            else:
+                # Size/Arg suffixes (e.g. BM_RegionTeardownSafe/16777216)
+                # distinguish records within a family; keep them so the
+                # regression diff compares like against like.
+                args.append(p)
         default = "unsafe" if suite == "micro_alloc" else "safe"
         entry = {
             "name": name,
             "config": CONFIG.get(name, default),
             "real_time_ns": round(b["real_time"], 3),
         }
+        if args:
+            entry["arg"] = "/".join(args)
         if threads is not None:
             entry["threads"] = threads
         ips = b.get("items_per_second")
@@ -81,10 +93,11 @@ def main():
         f.write("\n")
     print(f"wrote {out_path} ({len(results)} benchmarks, {build_type})")
 
-    print(f"{'benchmark':<32} {'config':<7} {'ns/op':>9}")
+    print(f"{'benchmark':<40} {'config':<7} {'ns/op':>9}")
     for r in results:
         ns = r.get(ns_key, r["real_time_ns"])
-        print(f"{r['name']:<32} {r['config']:<7} {ns:>9}")
+        label = r["name"] + (f"/{r['arg']}" if "arg" in r else "")
+        print(f"{label:<40} {r['config']:<7} {ns:>9}")
 
 
 if __name__ == "__main__":

@@ -5,11 +5,13 @@
 # Configures and builds a Release tree (numbers from unoptimized
 # binaries are meaningless and have been published by accident before:
 # the build type now comes from CMakeCache.txt, not from whatever the
-# benchmark library claims), runs bench/micro_alloc, bench/barrier and bench/parallel
-# in JSON mode, and distils the results into BENCH_micro_alloc.json /
-# BENCH_barrier.json / BENCH_parallel.json: one record per benchmark with ns/op
-# (items-per-second inverted) so successive runs can be diffed by eye
-# or by CI. The safe/unsafe split mirrors the paper's Figure 11 axis.
+# benchmark library claims), runs bench/micro_alloc, bench/barrier,
+# bench/parallel and bench/teardown in JSON mode, and distils the
+# results into BENCH_micro_alloc.json / BENCH_barrier.json /
+# BENCH_parallel.json / BENCH_teardown.json: one record per benchmark
+# with ns/op (items-per-second inverted; ns per page freed for the
+# teardown suite) so successive runs can be diffed by eye or by CI.
+# The safe/unsafe split mirrors the paper's Figure 11 axis.
 #
 # Usage: bench/run_benchmarks.sh [--check] [build-dir] [output-dir]
 #   --check    after measuring, compare against the committed
@@ -61,7 +63,8 @@ Release | RelWithDebInfo) ;;
   ;;
 esac
 
-cmake --build "$BUILD_DIR" --target micro_alloc barrier parallel -j >/dev/null
+cmake --build "$BUILD_DIR" --target micro_alloc barrier parallel teardown \
+  -j >/dev/null
 
 run_one() {
   # $1 binary name, $2 benchmark filter, $3 output json, $4 ns key
@@ -80,10 +83,12 @@ run_one micro_alloc \
   BENCH_micro_alloc.json ns_per_alloc
 run_one barrier 'BM_' BENCH_barrier.json ns_per_op
 run_one parallel 'BM_' BENCH_parallel.json ns_per_op
+run_one teardown 'BM_' BENCH_teardown.json ns_per_page
 
 if [ "$CHECK" = 1 ]; then
   STATUS=0
-  for NAME in BENCH_micro_alloc.json BENCH_barrier.json BENCH_parallel.json; do
+  for NAME in BENCH_micro_alloc.json BENCH_barrier.json BENCH_parallel.json \
+    BENCH_teardown.json; do
     python3 "$REPO_DIR/bench/check_regression.py" \
       "$REPO_DIR/$NAME" "$OUT_DIR/$NAME" || STATUS=1
   done

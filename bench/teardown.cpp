@@ -1,0 +1,100 @@
+//===- bench/teardown.cpp - Bulk region teardown cost --------------------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Quantifies the paper's §4.1 economic argument that deleteregion is
+// cheap because a region's pages go back on free lists in bulk.
+// Create → populate → deleteregion cycles across region sizes from
+// 64 KB to 64 MB, in the safe and raw (unsafe) configurations:
+//
+//  - BM_RegionTeardown*  times *only* the deleteregion call (the
+//    population happens outside the timed section), reporting ns per
+//    page freed. This is the number the run-table teardown attacks:
+//    the per-page linked-list walk paid a dependent cache-miss header
+//    load per 4 KB page, where the run table frees whole runs.
+//  - BM_RegionCycle*     times the full create → populate → delete
+//    cycle, the end-to-end cost a phase-oriented program sees.
+//
+// Objects are 256-byte pointer-free blobs (allocRaw), so the safe
+// configuration measures teardown bookkeeping — page frees, map
+// clears, stack scan — rather than cleanup-thunk execution, which
+// scales with objects, not pages, and is measured by the fig11 suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace regions;
+
+namespace {
+
+constexpr std::size_t kObjectBytes = 256;
+
+Region *populate(RegionManager &Mgr, std::size_t TargetBytes) {
+  Region *R = Mgr.newRegion();
+  for (std::size_t Done = 0; Done < TargetBytes; Done += kObjectBytes)
+    Mgr.allocRaw(R, kObjectBytes);
+  return R;
+}
+
+void runTeardown(benchmark::State &State, const SafetyConfig &Cfg) {
+  const auto TargetBytes = static_cast<std::size_t>(State.range(0));
+  RegionManager Mgr{Cfg, std::size_t{1} << 30};
+  std::size_t PagesFreed = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Region *R = populate(Mgr, TargetBytes);
+    std::size_t InUse = Mgr.osBytes() / kPageSize;
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(Mgr.deleteRegionRaw(R));
+    PagesFreed += InUse;
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(PagesFreed));
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          static_cast<std::int64_t>(TargetBytes));
+}
+
+void runCycle(benchmark::State &State, const SafetyConfig &Cfg) {
+  const auto TargetBytes = static_cast<std::size_t>(State.range(0));
+  RegionManager Mgr{Cfg, std::size_t{1} << 30};
+  for (auto _ : State) {
+    Region *R = populate(Mgr, TargetBytes);
+    benchmark::DoNotOptimize(Mgr.deleteRegionRaw(R));
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          static_cast<std::int64_t>(TargetBytes / kPageSize));
+  State.SetBytesProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          static_cast<std::int64_t>(TargetBytes));
+}
+
+void BM_RegionTeardownSafe(benchmark::State &State) {
+  runTeardown(State, SafetyConfig::safeConfig());
+}
+void BM_RegionTeardownRaw(benchmark::State &State) {
+  runTeardown(State, SafetyConfig::unsafeConfig());
+}
+void BM_RegionCycleSafe(benchmark::State &State) {
+  runCycle(State, SafetyConfig::safeConfig());
+}
+void BM_RegionCycleRaw(benchmark::State &State) {
+  runCycle(State, SafetyConfig::unsafeConfig());
+}
+
+// 64 KB, 1 MB, 16 MB, 64 MB regions: the paper's regions top out in the
+// tens of megabytes (lcc/moss); 16 MB is the acceptance size.
+#define TEARDOWN_SIZES                                                         \
+  ->Arg(std::size_t{64} << 10)                                                 \
+      ->Arg(std::size_t{1} << 20)                                              \
+      ->Arg(std::size_t{16} << 20)                                             \
+      ->Arg(std::size_t{64} << 20)
+
+BENCHMARK(BM_RegionTeardownSafe) TEARDOWN_SIZES;
+BENCHMARK(BM_RegionTeardownRaw) TEARDOWN_SIZES;
+BENCHMARK(BM_RegionCycleSafe) TEARDOWN_SIZES;
+BENCHMARK(BM_RegionCycleRaw) TEARDOWN_SIZES;
+
+} // namespace
+
+BENCHMARK_MAIN();

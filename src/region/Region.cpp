@@ -8,6 +8,8 @@
 #include "region/RuntimeStack.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 using namespace regions;
@@ -38,6 +40,10 @@ RegionManager::~RegionManager() {
   // Buffered adjustments may hold pointers into this manager's regions;
   // apply them while the arena is still mapped.
   detail::flushPendingCounts();
+  // Live regions die with the arena without passing through
+  // freeRegionMemory; release their spilled run tables here.
+  for (Region *R = LiveHead; R; R = R->NextLive)
+    std::free(R->OverflowRuns);
   detail::unregisterArena(Source.base());
   std::free(Map);
 }
@@ -89,13 +95,69 @@ void regions::detail::PendingCountBuffer::installSlow(unsigned I, Region *R,
 void RegionManager::setMapRange(const void *Page, std::size_t NumPages,
                                 Region *R) {
   std::size_t Idx = Source.pageIndex(Page);
-  for (std::size_t I = 0; I != NumPages; ++I)
-    Map[Idx + I] = R;
+  std::fill(Map + Idx, Map + Idx + NumPages, R);
+}
+
+void RegionManager::recordRun(Region *R, std::uint32_t PageIdx,
+                              std::uint32_t NumPages) {
+  std::uint32_t I = R->NumRuns++;
+  if (I < Region::kInlineRuns) {
+    R->InlineRuns[I] = {PageIdx, NumPages};
+    return;
+  }
+  std::uint32_t OvIdx = I - Region::kInlineRuns;
+  if (OvIdx == R->OverflowCap) {
+    std::uint32_t NewCap = R->OverflowCap ? R->OverflowCap * 2 : 16;
+    auto *Grown = static_cast<detail::PageRun *>(std::realloc(
+        R->OverflowRuns, std::size_t{NewCap} * sizeof(detail::PageRun)));
+    if (!Grown)
+      reportFatalError("region run table: out of memory");
+    R->OverflowRuns = Grown;
+    R->OverflowCap = NewCap;
+  }
+  R->OverflowRuns[OvIdx] = {PageIdx, NumPages};
+}
+
+char *RegionManager::carvePage(Region *R, bool &Zeroed) {
+  if (R->RunCursor == R->RunEnd) {
+    // Geometric growth, doubling every other run: 1, 1, 2, 2, 4, 4, 8,
+    // 8, then kMaxRunPages forever. Two leading single-page runs keep
+    // the common tiny region (its own page plus one str page) waste-
+    // free, the half-rate doubling keeps mid-size regions' uncarved
+    // slack (which Figure 8's osBytes high-water mark sees) low, and
+    // the cap keeps every freed run exact-bin recyclable.
+    static_assert(Region::kMaxRunPages == 16, "growth schedule assumes 16");
+    std::uint32_t N = R->NumRuns >= 8 ? Region::kMaxRunPages
+                                      : 1u << (R->NumRuns >> 1);
+    bool RunZeroed = false;
+    char *Base = static_cast<char *>(Source.allocPages(N, &RunZeroed));
+    auto Idx = static_cast<std::uint32_t>(Source.pageIndex(Base));
+    recordRun(R, Idx, N);
+    // The whole run maps to R immediately: regionOf on an uncarved page
+    // answers R, which is correct — the pages are owned by (and die
+    // with) this region.
+    setMapRange(Base, N, R);
+    if constexpr (detail::kRsanEnabled) {
+      // Uncarved pages are out of bounds until handed to a bump list;
+      // freePages lifts this protection run-wise at teardown.
+      if (N > 1)
+        RGN_ASAN_POISON(Base + kPageSize, (std::size_t{N} - 1) * kPageSize);
+    }
+    R->RunCursor = Idx;
+    R->RunEnd = Idx + N;
+    R->RunZeroed = RunZeroed ? 1 : 0;
+  }
+  char *Page = Source.base() + std::size_t{R->RunCursor} * kPageSize;
+  ++R->RunCursor;
+  if constexpr (detail::kRsanEnabled)
+    RGN_ASAN_UNPOISON(Page, kPageSize);
+  Zeroed = R->RunZeroed != 0;
+  return Page;
 }
 
 char *RegionManager::newPage(Region *R, PageKind Kind) {
   bool Zeroed = false;
-  char *Page = static_cast<char *>(Source.allocPages(1, &Zeroed));
+  char *Page = carvePage(R, Zeroed);
   std::uint16_t Flags = Zeroed ? kPageZeroTail : 0;
   // A dirty normal page under ZeroMemory is cleared wholesale on
   // refill: one page-sized memset replaces the per-object memsets and
@@ -109,7 +171,6 @@ char *RegionManager::newPage(Region *R, PageKind Kind) {
   List.Head = Page;
   List.Offset = sizeof(PageHeader);
   List.ZeroTail = (Flags & kPageZeroTail) ? 1 : 0;
-  setMapRange(Page, 1, R);
   if constexpr (detail::kRsanEnabled) {
     // The whole bump tail is out of bounds until allocated from; each
     // allocation unpoisons exactly its own extent. Str pages also need
@@ -152,6 +213,10 @@ Region *RegionManager::newRegion() {
   if (!(Flags & kPageZeroTail))
     writeEndMarker(Page, R->Normal.Offset);
   setMapRange(Page, 1, R);
+  // The region's own page is its first (single-page) run; the carve
+  // cursor starts exhausted, so the next page grabs a fresh run.
+  R->InlineRuns[0] = {static_cast<std::uint32_t>(Source.pageIndex(Page)), 1};
+  R->NumRuns = 1;
 
   R->NextLive = LiveHead;
   if (LiveHead)
@@ -233,6 +298,8 @@ void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
       NumPages;
   *reinterpret_cast<ScanThunk *>(Block + detail::kLargeThunkOff) = Thunk;
   detail::rsanStampObject(Block + detail::kLargeSizeOff, Size, Aligned);
+  recordRun(R, static_cast<std::uint32_t>(Source.pageIndex(Block)),
+            static_cast<std::uint32_t>(NumPages));
   setMapRange(Block, NumPages, R);
   if ((Zeroed || (Thunk && Cfg.ZeroMemory)) && !PagesZeroed)
     std::memset(Block + detail::kLargePayloadOff, 0, Aligned);
@@ -324,31 +391,25 @@ void RegionManager::freeRegionMemory(Region *R) {
   if (R->NextLive)
     R->NextLive->PrevLive = R->PrevLive;
 
-  // Copy the page lists out: R itself lives in the first normal page.
-  char *Normal = R->Normal.Head;
-  char *Str = R->Str.Head;
-  char *Large = R->LargeHead;
+  // O(runs) teardown: no page chain is walked — the run table already
+  // names every page this region owns (growth runs and large-object
+  // runs alike). Copy it out first: R itself lives in the first run's
+  // first page, which the loop frees (and hardened builds poison).
+  detail::PageRun Runs[Region::kInlineRuns];
+  std::memcpy(Runs, R->InlineRuns, sizeof(Runs));
+  detail::PageRun *Overflow = R->OverflowRuns;
+  std::uint32_t NumRuns = R->NumRuns;
 
-  while (Normal) {
-    char *Next = headerOf(Normal)->Next;
-    setMapRange(Normal, 1, nullptr);
-    Source.freePages(Normal, 1);
-    Normal = Next;
+  char *Base = Source.base();
+  for (std::uint32_t I = 0; I != NumRuns; ++I) {
+    detail::PageRun Run =
+        I < Region::kInlineRuns ? Runs[I] : Overflow[I - Region::kInlineRuns];
+    std::fill(Map + Run.PageIdx, Map + Run.PageIdx + Run.NumPages,
+              static_cast<Region *>(nullptr));
+    Source.freePages(Base + std::size_t{Run.PageIdx} * kPageSize,
+                     Run.NumPages);
   }
-  while (Str) {
-    char *Next = headerOf(Str)->Next;
-    setMapRange(Str, 1, nullptr);
-    Source.freePages(Str, 1);
-    Str = Next;
-  }
-  while (Large) {
-    char *Next = headerOf(Large)->Next;
-    std::size_t NumPages =
-        *reinterpret_cast<std::size_t *>(Large + detail::kLargeNumPagesOff);
-    setMapRange(Large, NumPages, nullptr);
-    Source.freePages(Large, NumPages);
-    Large = Next;
-  }
+  std::free(Overflow);
 }
 
 bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,

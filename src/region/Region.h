@@ -55,6 +55,19 @@ namespace rt {
 struct SlotNode;
 } // namespace rt
 
+namespace detail {
+
+/// One contiguous run of pages owned by a region, as an (index, length)
+/// pair relative to the manager's arena base. Regions grow by grabbing
+/// geometrically growing runs and record each one here, so deletion
+/// frees O(runs) instead of walking O(pages) of chained headers.
+struct PageRun {
+  std::uint32_t PageIdx;
+  std::uint32_t NumPages;
+};
+
+} // namespace detail
+
 /// Cleanup header stored before every object in a normal page (the
 /// paper's \c cleanup_t). The thunk finalizes one object (running
 /// destructors, which decrement cross-region reference counts via
@@ -213,6 +226,18 @@ public:
 private:
   friend class RegionManager;
 
+  /// Page runs grow geometrically (1, 1, 2, 2, 4, 4, 8, 8, then
+  /// kMaxRunPages pages — see carvePage) and are capped at
+  /// PageSource::kMaxBin so every freed run recycles through an
+  /// exact-size bin.
+  static constexpr std::uint32_t kMaxRunPages =
+      static_cast<std::uint32_t>(PageSource::kMaxBin);
+
+  /// Runs held inline in the region structure; a region only spills to
+  /// the malloc'd overflow array past kInlineRuns runs (> 30 pages with
+  /// the growth schedule above, i.e. regions past ~120 KB).
+  static constexpr std::uint32_t kInlineRuns = 8;
+
   /// One bump allocator (§4.1 Figure 4's struct allocator): newest page
   /// plus the offset at which to allocate within it. Pages are chained
   /// through their PageHeader. ZeroTail mirrors the head page's
@@ -231,6 +256,23 @@ private:
   char *LargeHead = nullptr; ///< chain of large-object page runs
   std::size_t NumAllocs = 0;
   std::size_t ReqBytes = 0;
+  // Run table: every page run this region owns (growth runs and large-
+  // object runs alike), in grab order. InlineRuns[0] is always the
+  // region's own first page. The overflow array is raw malloc storage —
+  // Region must stay trivially destructible, and region pages cannot
+  // hold it because deletion frees (and in hardened builds poisons)
+  // those pages while iterating the table.
+  detail::PageRun InlineRuns[kInlineRuns] = {};
+  detail::PageRun *OverflowRuns = nullptr;
+  std::uint32_t NumRuns = 0;
+  std::uint32_t OverflowCap = 0;
+  // Carve cursor into the current (newest) growth run, as absolute page
+  // indices: pages [RunCursor, RunEnd) are grabbed but not yet handed
+  // to a bump list. RunZeroed carries the run's PageSource zero-state
+  // to each carved page so the zero-tail fast path survives chunking.
+  std::uint32_t RunCursor = 0;
+  std::uint32_t RunEnd = 0;
+  std::uint32_t RunZeroed = 0;
   // Deferred write-barrier stats: the packed hot word (same cache line
   // as CountRefs, the other field every barrier touches) plus the wide
   // spill targets, folded like NumAllocs/ReqBytes.
@@ -569,6 +611,8 @@ public:
 
 private:
   char *newPage(Region *R, detail::PageKind Kind);
+  char *carvePage(Region *R, bool &Zeroed);
+  void recordRun(Region *R, std::uint32_t PageIdx, std::uint32_t NumPages);
   void *allocRawSlow(Region *R, std::size_t Size, bool Zeroed);
   void *allocScannedSlow(Region *R, std::size_t Size, ScanThunk Thunk);
   void *allocLarge(Region *R, std::size_t Size, ScanThunk Thunk, bool Zeroed);

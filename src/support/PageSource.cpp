@@ -7,29 +7,51 @@
 #include "support/PageSource.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <sys/mman.h>
 
 using namespace regions;
 
+#if defined(RGN_HUGEPAGES) && RGN_HUGEPAGES
+// Transparent-huge-page granule on x86-64 and aarch64 (4K granule).
+static constexpr std::size_t kHugePageBytes = std::size_t{2} << 20;
+#endif
+
 PageSource::PageSource(std::size_t ReserveBytes) {
   TotalPages = alignTo(ReserveBytes, kPageSize) / kPageSize;
-  void *Mem = mmap(nullptr, TotalPages * kPageSize, PROT_READ | PROT_WRITE,
+  std::size_t ArenaBytes = TotalPages * kPageSize;
+  MapBytes = ArenaBytes;
+#if defined(RGN_HUGEPAGES) && RGN_HUGEPAGES
+  // Over-reserve by one huge page so the arena proper can start on a
+  // 2 MB boundary — THP only backs regions whose virtual start is
+  // huge-page aligned.
+  MapBytes += kHugePageBytes;
+#endif
+  void *Mem = mmap(nullptr, MapBytes, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
   if (Mem == MAP_FAILED)
     reportFatalError("PageSource: cannot reserve arena");
-  ArenaBase = static_cast<char *>(Mem);
+  MapBase = static_cast<char *>(Mem);
+  ArenaBase = MapBase;
+#if defined(RGN_HUGEPAGES) && RGN_HUGEPAGES
+  ArenaBase = reinterpret_cast<char *>(
+      alignTo(reinterpret_cast<std::uintptr_t>(MapBase), kHugePageBytes));
+#ifdef MADV_HUGEPAGE
+  madvise(ArenaBase, ArenaBytes, MADV_HUGEPAGE);
+#endif
+#endif
 }
 
 PageSource::~PageSource() {
-  if (ArenaBase) {
+  if (MapBase) {
     // ASan's shadow is not cleared by munmap: a later mmap that lands
     // on this address range would inherit the quarantine/red-zone
     // poison and trap on its first legitimate access. Clear the whole
     // arena's shadow before giving the range back to the OS.
     RGN_ASAN_UNPOISON(ArenaBase, TotalPages * kPageSize);
-    munmap(ArenaBase, TotalPages * kPageSize);
+    munmap(MapBase, MapBytes);
   }
 }
 
@@ -47,8 +69,75 @@ void *PageSource::allocPages(std::size_t NumPages, bool *Zeroed) {
     Bins[NumPages].pop_back();
     return pageAt(Idx);
   }
+  return allocPagesSlow(NumPages, Zeroed);
+}
 
-  // First-fit in the large-run list; split the remainder back.
+void *PageSource::allocPagesSlow(std::size_t NumPages, bool *Zeroed) {
+  if (void *P = takeFromLists(NumPages))
+    return P;
+
+  // The listed runs are individually too small. If they hold enough
+  // pages in total, one coalescing sweep may re-form a run that fits —
+  // cheaper than growing the frontier (which inflates the Figure-8
+  // number for good) and the only way chunked frees reassemble.
+  // PagesInUse already counts this pending request, so back it out.
+  std::size_t FreeListed =
+      Frontier - (PagesInUse - NumPages) - NumQuarantinedPages;
+  if (CoalesceDirty && FreeListed >= NumPages) {
+    coalesceFreeRuns();
+    if (void *P = takeFromLists(NumPages))
+      return P;
+  }
+
+  // A free run ending exactly at the frontier can seed the allocation:
+  // only the shortfall is new frontier growth. The recycled prefix is
+  // dirty, so the combined run cannot claim the zero-state.
+  Run Tail;
+  if (takeRunEndingAtFrontier(Tail) &&
+      Frontier + (NumPages - Tail.NumPages) <= TotalPages) {
+    Frontier += NumPages - Tail.NumPages;
+    if (Frontier > ZeroHighWater)
+      ZeroHighWater = Frontier;
+    return pageAt(Tail.PageIdx);
+  }
+
+  // Grow the frontier. Pages past the all-time high-water mark were
+  // never handed out, so MAP_ANONYMOUS still guarantees them zeroed.
+  if (Frontier + NumPages > TotalPages)
+    reportFatalError("PageSource: arena exhausted; raise the reserve size");
+  std::size_t Idx = Frontier;
+  Frontier += NumPages;
+  if (Zeroed)
+    *Zeroed = Idx >= ZeroHighWater;
+  if (Frontier > ZeroHighWater)
+    ZeroHighWater = Frontier;
+  return pageAt(Idx);
+}
+
+void *PageSource::takeFromLists(std::size_t NumPages) {
+  if (NumPages <= kMaxBin) {
+    // Exact bin (re-checked here because the coalescing sweep rebins).
+    if (!Bins[NumPages].empty()) {
+      std::uint32_t Idx = Bins[NumPages].back();
+      Bins[NumPages].pop_back();
+      return pageAt(Idx);
+    }
+    // Best-fit split of the smallest larger bin; the remainder is a
+    // bin-sized run again, so it rebins exactly — no fragmentation
+    // accumulates in the bin range.
+    for (std::size_t N = NumPages + 1; N <= kMaxBin; ++N) {
+      if (Bins[N].empty())
+        continue;
+      std::uint32_t Idx = Bins[N].back();
+      Bins[N].pop_back();
+      std::size_t Rest = N - NumPages;
+      Bins[Rest].push_back(Idx + static_cast<std::uint32_t>(NumPages));
+      return pageAt(Idx);
+    }
+  }
+
+  // First-fit in the large-run list; remainders rebin into an exact bin
+  // when they fit instead of lingering as under-sized "large" runs.
   for (std::size_t I = 0, E = LargeRuns.size(); I != E; ++I) {
     Run &R = LargeRuns[I];
     if (R.NumPages < NumPages)
@@ -69,18 +158,70 @@ void *PageSource::allocPages(std::size_t NumPages, bool *Zeroed) {
     }
     return pageAt(Idx);
   }
+  return nullptr;
+}
 
-  // Grow the frontier. Pages past the all-time high-water mark were
-  // never handed out, so MAP_ANONYMOUS still guarantees them zeroed.
-  if (Frontier + NumPages > TotalPages)
-    reportFatalError("PageSource: arena exhausted; raise the reserve size");
-  std::size_t Idx = Frontier;
-  Frontier += NumPages;
-  if (Zeroed)
-    *Zeroed = Idx >= ZeroHighWater;
-  if (Frontier > ZeroHighWater)
-    ZeroHighWater = Frontier;
-  return pageAt(Idx);
+bool PageSource::takeRunEndingAtFrontier(Run &Out) {
+  const auto End = static_cast<std::uint32_t>(Frontier);
+  for (std::size_t I = 0; I != NumCachedPages; ++I) {
+    if (PageCache[I] + 1 == End) {
+      Out = {PageCache[I], 1};
+      PageCache[I] = PageCache[--NumCachedPages];
+      return true;
+    }
+  }
+  for (std::size_t N = 1; N <= kMaxBin; ++N) {
+    for (std::size_t I = 0, E = Bins[N].size(); I != E; ++I) {
+      if (Bins[N][I] + N == End) {
+        Out = {Bins[N][I], static_cast<std::uint32_t>(N)};
+        Bins[N][I] = Bins[N].back();
+        Bins[N].pop_back();
+        return true;
+      }
+    }
+  }
+  for (std::size_t I = 0, E = LargeRuns.size(); I != E; ++I) {
+    if (LargeRuns[I].PageIdx + LargeRuns[I].NumPages == End) {
+      Out = LargeRuns[I];
+      LargeRuns[I] = LargeRuns.back();
+      LargeRuns.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void PageSource::coalesceFreeRuns() {
+  // Gather every listed run, merge adjacent ones, redistribute. O(free
+  // runs · log) per sweep, and a sweep only runs when an allocation
+  // would otherwise grow the frontier past reusable space — the
+  // per-free fast path stays one push.
+  std::vector<Run> All;
+  All.reserve(NumCachedPages + LargeRuns.size() + 16);
+  for (std::size_t I = 0; I != NumCachedPages; ++I)
+    All.push_back({PageCache[I], 1});
+  NumCachedPages = 0;
+  for (std::size_t N = 1; N <= kMaxBin; ++N) {
+    for (std::uint32_t Idx : Bins[N])
+      All.push_back({Idx, static_cast<std::uint32_t>(N)});
+    Bins[N].clear();
+  }
+  for (const Run &R : LargeRuns)
+    All.push_back(R);
+  LargeRuns.clear();
+
+  std::sort(All.begin(), All.end(),
+            [](const Run &A, const Run &B) { return A.PageIdx < B.PageIdx; });
+
+  for (std::size_t I = 0, E = All.size(); I != E;) {
+    Run Merged = All[I++];
+    while (I != E && All[I].PageIdx == Merged.PageIdx + Merged.NumPages) {
+      Merged.NumPages += All[I].NumPages;
+      ++I;
+    }
+    recycleRun(Merged.PageIdx, Merged.NumPages);
+  }
+  CoalesceDirty = false; // recycleRun above re-set it; everything merged
 }
 
 void PageSource::freePages(void *Ptr, std::size_t NumPages) {
@@ -105,6 +246,7 @@ void PageSource::freePages(void *Ptr, std::size_t NumPages) {
 }
 
 void PageSource::recycleRun(std::uint32_t PageIdx, std::size_t NumPages) {
+  CoalesceDirty = true;
   if (NumPages == 1 && NumCachedPages != kPageCacheCap) {
     PageCache[NumCachedPages++] = PageIdx;
     return;
@@ -177,6 +319,7 @@ void PageSource::resetForTesting() {
   Frontier = 0;
   PagesInUse = 0;
   NumCachedPages = 0;
+  CoalesceDirty = false;
   for (auto &Bin : Bins)
     Bin.clear();
   LargeRuns.clear();

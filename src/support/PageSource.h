@@ -25,6 +25,19 @@
 /// common case for region pages — recycle through a small inline cache
 /// in front of the bins, avoiding the vector round-trip.
 ///
+/// Coalescing: the free lists record runs at the length they were freed
+/// at, which would slowly shred the arena into run sizes that can no
+/// longer serve larger requests (and inflate the Figure-8 number by
+/// forcing frontier growth past perfectly reusable pages). Instead of
+/// paying merge bookkeeping on every free, coalescing is deferred: when
+/// an allocation would otherwise grow the frontier while the free lists
+/// hold enough pages in total, every free run is swept once, adjacent
+/// runs are merged, and the request is retried — including best-fit
+/// splitting from larger bins and, as a last resort, seeding the
+/// allocation with a free run that abuts the frontier so only the
+/// shortfall is new frontier growth. Free/alloc fast paths stay exactly
+/// one cache/bin operation.
+///
 /// rsan quarantine (RGN_HARDEN builds, see support/Harden.h): when a
 /// source is given a non-zero quarantine budget, freed runs are
 /// byte-poisoned with 0xD5, ASan-poisoned when available, and parked in
@@ -36,7 +49,13 @@
 /// only ever released through that eviction path or resetForTesting, so
 /// a page can never be handed out still claiming the never-touched
 /// zero-state: every quarantined page was handed out before, which
-/// already puts it below the zero high-water mark for good.
+/// already puts it below the zero high-water mark for good. Quarantined
+/// runs never coalesce — they are not free until evicted.
+///
+/// Huge pages (CMake option RGN_HUGEPAGES): the reservation is 2 MB-
+/// aligned and madvise(MADV_HUGEPAGE)d so the kernel can back the arena
+/// with transparent huge pages, shrinking the TLB footprint of the page
+/// map and of large-region payload walks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +74,12 @@ namespace regions {
 /// Provides 4 KB pages from a reserved virtual-memory arena.
 class PageSource {
 public:
+  /// Free runs are binned by exact length up to kMaxBin; longer runs go
+  /// to the overflow list and are carved first-fit. Clients that grab
+  /// geometrically growing runs (the region allocator) cap their run
+  /// length here so every freed run recycles through an exact bin.
+  static constexpr std::size_t kMaxBin = 16;
+
   /// Reserves \p ReserveBytes of virtual address space (rounded up to a
   /// page multiple). The default of 1 GiB is plenty for every experiment
   /// in the paper while costing no physical memory until touched.
@@ -74,7 +99,9 @@ public:
 
   /// Returns a page run previously obtained from allocPages to the free
   /// lists. The memory stays counted in osBytes(), matching how the
-  /// paper's allocators retain freed memory.
+  /// paper's allocators retain freed memory. Runs may be freed whole or
+  /// in arbitrary page-aligned pieces; deferred coalescing re-forms
+  /// contiguous free space either way.
   void freePages(void *Ptr, std::size_t NumPages);
 
   /// Total bytes ever obtained from the OS (frontier high-water mark).
@@ -115,6 +142,18 @@ public:
   /// (exposed for tests).
   std::size_t cachedSinglePages() const { return NumCachedPages; }
 
+  /// Pages sitting in the free lists (cache, bins, large-run list) —
+  /// the pool deferred coalescing can merge. Excludes quarantined runs,
+  /// which are not free until evicted.
+  std::size_t freeListedPages() const {
+    return Frontier - PagesInUse - NumQuarantinedPages;
+  }
+
+  /// Merges every pair of adjacent free runs and rebins the result.
+  /// Runs automatically before the frontier would grow past reusable
+  /// free space; exposed so tests can observe the merged state.
+  void coalesceFreeRuns();
+
   /// Sets the quarantine budget in pages and evicts down to it. A
   /// budget of zero disables the quarantine (freed runs recycle
   /// immediately, as in unhardened builds). Without RGN_HARDEN freed
@@ -138,10 +177,6 @@ public:
   void releaseQuarantinedPages();
 
 private:
-  /// Free runs are binned by exact length up to kMaxBin; longer runs go
-  /// to the overflow list and are carved first-fit.
-  static constexpr std::size_t kMaxBin = 16;
-
   /// Inline recycle cache for single-page runs, tried before Bins[1].
   static constexpr std::size_t kPageCacheCap = 64;
 
@@ -154,6 +189,21 @@ private:
     return ArenaBase + Index * kPageSize;
   }
 
+  /// Out-of-line remainder of allocPages: bin splitting, large-run
+  /// carving, deferred coalescing, frontier extension, frontier growth.
+  void *allocPagesSlow(std::size_t NumPages, bool *Zeroed);
+
+  /// Serves \p NumPages from the free lists without growing the
+  /// frontier: exact bin, best-fit split of a larger bin (remainder
+  /// rebinned exactly), then first-fit carve from the large-run list.
+  /// Returns null when no listed run is big enough.
+  void *takeFromLists(std::size_t NumPages);
+
+  /// Removes and returns the free run ending exactly at the frontier,
+  /// if any (after coalescing there is at most one). Used to seed a
+  /// frontier growth so only the shortfall is newly handed-out space.
+  bool takeRunEndingAtFrontier(Run &Out);
+
   /// The pre-quarantine free path: cache, exact bin, or large list.
   void recycleRun(std::uint32_t PageIdx, std::size_t NumPages);
 
@@ -164,12 +214,15 @@ private:
   /// Unpoisons (ASan) and recycles the oldest quarantined run.
   void evictOldestQuarantined();
 
+  char *MapBase = nullptr;    ///< raw mapping (ArenaBase when unaligned)
+  std::size_t MapBytes = 0;   ///< raw mapping length
   char *ArenaBase = nullptr;
   std::size_t TotalPages = 0;
   std::size_t Frontier = 0;   ///< pages [0, Frontier) have been handed out
   std::size_t PagesInUse = 0; ///< currently allocated pages
   std::size_t ZeroHighWater = 0; ///< pages >= this index were never touched
   std::size_t NumCachedPages = 0;
+  bool CoalesceDirty = false; ///< frees since the last coalesce sweep
   std::uint32_t PageCache[kPageCacheCap]; ///< recycled single pages (LIFO)
   std::vector<std::uint32_t> Bins[kMaxBin + 1]; ///< Bins[n]: runs of n pages
   std::vector<Run> LargeRuns; ///< runs longer than kMaxBin pages

@@ -270,6 +270,124 @@ TEST(PageSourceTest, ResetPreservesDirtyTracking) {
   EXPECT_FALSE(Zeroed);
 }
 
+TEST(PageSourceTest, LargeRunRemainderRebinsExactly) {
+  // Audit of the first-fit carve: when the remainder of a large run
+  // fits a bin (<= kMaxBin pages), it must move to that exact bin and
+  // serve an exact-size request with no frontier growth.
+  PageSource S(1 << 22);
+  auto *Big = static_cast<char *>(S.allocPages(64));
+  S.freePages(Big, 64);
+  void *Carved = S.allocPages(50); // remainder 14 <= kMaxBin
+  EXPECT_EQ(Carved, Big);
+  std::size_t Os = S.osBytes();
+  void *Rest = S.allocPages(14);
+  EXPECT_EQ(S.osBytes(), Os) << "rebinned remainder must serve the request";
+  EXPECT_EQ(static_cast<char *>(Rest), Big + 50 * kPageSize);
+}
+
+TEST(PageSourceTest, SplitsSmallerRunsFromLargerBins) {
+  PageSource S(1 << 22);
+  auto *Run8 = static_cast<char *>(S.allocPages(8));
+  S.freePages(Run8, 8);
+  std::size_t Os = S.osBytes();
+  // No 3-run exists; the 8-run must split rather than grow the
+  // frontier, and its remainder must rebin exactly.
+  void *Three = S.allocPages(3);
+  EXPECT_EQ(Three, Run8);
+  void *Five = S.allocPages(5);
+  EXPECT_EQ(static_cast<char *>(Five), Run8 + 3 * kPageSize);
+  EXPECT_EQ(S.osBytes(), Os) << "bin splitting must avoid frontier growth";
+}
+
+TEST(PageSourceTest, CoalescingReformsChunkedFrees) {
+  // A run freed in arbitrary page-aligned pieces must be reusable
+  // whole: deferred coalescing re-merges the pieces before the
+  // frontier would grow.
+  PageSource S(1 << 22);
+  auto *Run = static_cast<char *>(S.allocPages(16));
+  std::size_t Os = S.osBytes();
+  for (int I = 0; I < 4; ++I)
+    S.freePages(Run + I * 4 * kPageSize, 4);
+  EXPECT_EQ(S.allocPages(16), Run);
+  EXPECT_EQ(S.osBytes(), Os) << "chunked frees must re-form the large run";
+}
+
+TEST(PageSourceTest, FragmentationStressStaysBounded) {
+  // Churn single pages and mixed run sizes, free everything in an
+  // interleaved order, then demand the whole footprint as one run:
+  // coalescing must satisfy it without any new frontier growth.
+  PageSource S(1 << 22);
+  constexpr int kPages = 48;
+  char *Pages[kPages];
+  for (auto &P : Pages)
+    P = static_cast<char *>(S.allocPages(1));
+  std::size_t Os = S.osBytes();
+  for (int I = 0; I < kPages; I += 2) // evens, then odds
+    S.freePages(Pages[I], 1);
+  for (int I = 1; I < kPages; I += 2)
+    S.freePages(Pages[I], 1);
+  void *Whole = S.allocPages(kPages);
+  EXPECT_EQ(Whole, Pages[0]);
+  EXPECT_EQ(S.osBytes(), Os)
+      << "interleaved single-page frees must coalesce into one run";
+  S.freePages(Whole, kPages);
+
+  // Mixed run sizes, freed out of order, reassembled again.
+  char *A = static_cast<char *>(S.allocPages(5));
+  char *B = static_cast<char *>(S.allocPages(11));
+  char *C = static_cast<char *>(S.allocPages(16));
+  char *D = static_cast<char *>(S.allocPages(16));
+  Os = S.osBytes();
+  S.freePages(C, 16);
+  S.freePages(A, 5);
+  S.freePages(D, 16);
+  S.freePages(B, 11);
+  EXPECT_EQ(S.allocPages(48), A);
+  EXPECT_EQ(S.osBytes(), Os);
+}
+
+TEST(PageSourceTest, FrontierAbuttingRunSeedsGrowth) {
+  // A free run ending exactly at the frontier serves an oversized
+  // request by growing the frontier only by the shortfall.
+  PageSource S(1 << 22);
+  void *A = S.allocPages(4);
+  S.freePages(A, 4);
+  bool Zeroed = true;
+  void *B = S.allocPages(6, &Zeroed);
+  EXPECT_EQ(B, A);
+  EXPECT_EQ(S.osBytes(), 6 * kPageSize)
+      << "only the 2-page shortfall may come from the frontier";
+  EXPECT_FALSE(Zeroed) << "the recycled prefix is dirty";
+}
+
+TEST(PageSourceTest, ResetClearsCoalescingStateAndZeroGuarantees) {
+  PageSource S(1 << 20);
+  auto *A = static_cast<char *>(S.allocPages(3));
+  void *B = S.allocPages(2);
+  std::memset(A, 0x77, 3 * kPageSize);
+  S.freePages(A, 3);
+  S.freePages(B, 2);
+  S.resetForTesting();
+  EXPECT_EQ(S.inUseBytes(), 0u);
+  EXPECT_EQ(S.osBytes(), 0u);
+  EXPECT_EQ(S.cachedSinglePages(), 0u);
+  EXPECT_EQ(S.freeListedPages(), 0u) << "no free-listed runs may survive reset";
+  S.coalesceFreeRuns(); // must be a no-op on the clean state
+  EXPECT_EQ(S.freeListedPages(), 0u);
+
+  // Reset -> realloc reproduces the fresh-arena guarantees: previously
+  // touched pages come back dirty, never-touched pages still zeroed.
+  bool Zeroed = true;
+  auto *P = static_cast<char *>(S.allocPages(5, &Zeroed));
+  EXPECT_EQ(P, A);
+  EXPECT_FALSE(Zeroed) << "pre-reset contents were not rewound";
+  Zeroed = false;
+  auto *Q = static_cast<unsigned char *>(S.allocPages(2, &Zeroed));
+  EXPECT_TRUE(Zeroed) << "pages past the pre-reset high water are fresh";
+  for (std::size_t I = 0; I < 2 * kPageSize; I += 509)
+    ASSERT_EQ(Q[I], 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Stopwatch
 //===----------------------------------------------------------------------===//

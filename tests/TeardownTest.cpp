@@ -1,0 +1,153 @@
+//===- tests/TeardownTest.cpp - Run-table teardown and Figure-8 parity ---===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Locks in the invariants of run-based region page management: chunked
+// growth must not leak pages at teardown, must keep churning workloads'
+// OS footprint flat, and — the Figure-8 parity bound — may not inflate
+// the paper's workload-mix osBytes() beyond a small documented slack
+// over the historical single-page-growth numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Regions.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace regions;
+using namespace regions::workloads;
+
+namespace {
+
+struct NoisyObj {
+  int Value = 0;
+  ~NoisyObj() { Value = -1; }
+};
+
+// The reuse assertions below require freed pages to recycle
+// immediately; hardened builds park them in quarantine by default.
+struct RunTableTest : ::testing::Test {
+  RegionManager Mgr;
+  void SetUp() override { Mgr.setQuarantineBudget(0); }
+};
+
+TEST_F(RunTableTest, DeleteReturnsEveryRunPage) {
+  // Grow a region through several geometric runs (normal, str, and
+  // large pages mixed) and delete it: every page must come back, and
+  // the page map must forget the whole range.
+  Region *R = Mgr.newRegion();
+  char *Probes[64];
+  int NumProbes = 0;
+  for (int I = 0; I < 200; ++I) {
+    auto *P = static_cast<char *>(Mgr.allocRaw(R, 1024));
+    if (I % 4 == 0 && NumProbes < 32)
+      Probes[NumProbes++] = P;
+    rnew<NoisyObj>(R);
+  }
+  void *Big = Mgr.allocRaw(R, 5 * kPageSize); // large-object run
+  Probes[NumProbes++] = static_cast<char *>(Big);
+  for (int I = 0; I != NumProbes; ++I)
+    ASSERT_EQ(regionOf(Probes[I]), R);
+  std::size_t OsBefore = Mgr.osBytes();
+  ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+  EXPECT_EQ(Mgr.osBytes(), OsBefore) << "deletion never grows the footprint";
+  for (int I = 0; I != NumProbes; ++I)
+    EXPECT_EQ(regionOf(Probes[I]), nullptr)
+        << "page map entry " << I << " survived the range clear";
+
+  // Everything freed: an identical region must fit in the same pages.
+  Region *R2 = Mgr.newRegion();
+  for (int I = 0; I < 200; ++I) {
+    Mgr.allocRaw(R2, 1024);
+    rnew<NoisyObj>(R2);
+  }
+  Mgr.allocRaw(R2, 5 * kPageSize);
+  EXPECT_EQ(Mgr.osBytes(), OsBefore)
+      << "recycled runs must serve an identical region without growth";
+  Mgr.deleteRegionRaw(R2);
+}
+
+TEST_F(RunTableTest, ChurnKeepsOsBytesFlat) {
+  // Create/populate/delete cycles at a fixed size: after the first
+  // cycle establishes the footprint, chunked growth must reuse the
+  // freed runs exactly — osBytes() is a high-water mark, so any
+  // schedule asymmetry would show up as monotonic growth.
+  std::size_t OsAfterFirst = 0;
+  for (int Cycle = 0; Cycle < 50; ++Cycle) {
+    Region *R = Mgr.newRegion();
+    for (int I = 0; I < 300; ++I)
+      Mgr.allocRaw(R, 512);
+    ASSERT_TRUE(Mgr.deleteRegionRaw(R));
+    if (Cycle == 0)
+      OsAfterFirst = Mgr.osBytes();
+  }
+  EXPECT_EQ(Mgr.osBytes(), OsAfterFirst)
+      << "steady-state churn must not inflate the Figure-8 metric";
+}
+
+TEST_F(RunTableTest, ManyLiveRegionsThenTeardownInMixedOrder) {
+  constexpr int kRegions = 24;
+  Region *Rs[kRegions];
+  for (int I = 0; I < kRegions; ++I) {
+    Rs[I] = Mgr.newRegion();
+    // Different sizes so regions sit mid-run with uncarved slack.
+    for (int J = 0; J <= I * 7; ++J)
+      Mgr.allocRaw(Rs[I], 700);
+  }
+  std::size_t Os = Mgr.osBytes();
+  for (int I = 0; I < kRegions; I += 2)
+    ASSERT_TRUE(Mgr.deleteRegionRaw(Rs[I]));
+  for (int I = 1; I < kRegions; I += 2)
+    ASSERT_TRUE(Mgr.deleteRegionRaw(Rs[I]));
+  EXPECT_EQ(Mgr.liveRegionCount(), 0u);
+  EXPECT_EQ(Mgr.osBytes(), Os);
+  // The coalescing source must now be able to hand the pages out as
+  // regions of a different shape without growing.
+  Region *Big = Mgr.newRegion();
+  for (int J = 0; J < 2000; ++J)
+    Mgr.allocRaw(Big, 700);
+  EXPECT_LE(Mgr.osBytes(), Os)
+      << "reassembled runs must serve a differently-shaped region";
+  Mgr.deleteRegionRaw(Big);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure-8 parity: chunked growth vs the historical per-page baseline
+//===----------------------------------------------------------------------===//
+
+// Historical osBytes() of the safe-region backend on the Figure 8 /
+// Table 2 workload mix at Scale=1, Seed=1 (deterministic), measured
+// with single-page region growth before the run-table change. Chunked
+// growth trades a bounded amount of uncarved run slack for O(runs)
+// teardown; the documented slack is 25% (worst measured: grobner at
+// +21%, from mid-size regions' current-run tails — see DESIGN.md).
+struct ParityRow {
+  WorkloadId W;
+  std::uint64_t BaselineOsBytes;
+};
+constexpr ParityRow kFig8Baseline[] = {
+    {WorkloadId::Cfrac, 32 * 1024},    {WorkloadId::Grobner, 112 * 1024},
+    {WorkloadId::Mudlle, 140 * 1024},  {WorkloadId::Lcc, 200 * 1024},
+    {WorkloadId::Tile, 688 * 1024},    {WorkloadId::Moss, 564 * 1024},
+};
+constexpr double kFig8SlackFactor = 1.25;
+
+TEST(Fig8ParityTest, ChunkedGrowthKeepsOsBytesWithinDocumentedSlack) {
+  if (detail::kRsanEnabled)
+    GTEST_SKIP() << "hardened metadata and quarantine inflate osBytes; "
+                    "Figure 8 parity is a lean-build property";
+  for (const ParityRow &Row : kFig8Baseline) {
+    WorkloadOptions Opt;
+    Opt.Scale = 1.0;
+    Opt.Seed = 1;
+    RunResult Res = runWorkload(Row.W, BackendKind::RegionSafe, Opt);
+    ASSERT_TRUE(Res.Ok) << workloadName(Row.W);
+    EXPECT_LE(static_cast<double>(Res.OsBytes),
+              static_cast<double>(Row.BaselineOsBytes) * kFig8SlackFactor)
+        << workloadName(Row.W) << ": chunked growth inflated osBytes past "
+        << "the documented " << kFig8SlackFactor << "x slack";
+  }
+}
+
+} // namespace
