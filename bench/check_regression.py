@@ -2,6 +2,7 @@
 """Compares a fresh benchmark baseline against the committed one.
 
 Usage: check_regression.py baseline.json fresh.json [--threshold 0.15]
+       check_regression.py --self-test
 
 Exits non-zero if any benchmark present in both files regressed by
 more than the threshold on its ns/op metric (ns_per_alloc or
@@ -9,8 +10,11 @@ ns_per_op, whichever the suite records). Benchmarks that appear only
 on one side are reported but never fail the check — suites are allowed
 to grow and shrink. Comparisons across build types are refused: a
 debug-vs-release diff measures the compiler, not the change.
+
+Exit codes: 0 ok, 1 regression(s), 2 refused (build types differ).
 """
 
+import argparse
 import json
 import sys
 
@@ -20,6 +24,10 @@ NS_KEYS = ("ns_per_alloc", "ns_per_op", "ns_per_page")
 def load(path):
     with open(path) as f:
         data = json.load(f)
+    return data, extract_rows(data)
+
+
+def extract_rows(data):
     rows = {}
     for r in data.get("results", []):
         # Thread- and size-family records share a name; the arg/thread
@@ -33,19 +41,12 @@ def load(path):
             if key in r:
                 rows[label] = r[key]
                 break
-    return data, rows
+    return rows
 
 
-def main():
-    args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    threshold = 0.15
-    argv = sys.argv[1:]
-    if "--threshold" in argv:
-        threshold = float(argv[argv.index("--threshold") + 1])
-    base_path, fresh_path = args[0], args[1]
-
-    base_data, base = load(base_path)
-    fresh_data, fresh = load(fresh_path)
+def compare(base_data, fresh_data, threshold):
+    base = extract_rows(base_data)
+    fresh = extract_rows(fresh_data)
 
     base_bt = base_data.get("context", {}).get("build_type")
     fresh_bt = fresh_data.get("context", {}).get("build_type")
@@ -83,6 +84,87 @@ def main():
         return 1
     print(f"{suite}: ok")
     return 0
+
+
+def self_test():
+    """In-process checks of the comparison logic, including the
+    argument-parsing regression this script once shipped: `--threshold
+    0.2 a.json b.json` used to leak "0.2" into the positional
+    arguments and compare the wrong files."""
+
+    def suite(ns_by_name, build_type="Release"):
+        return {
+            "benchmark": "selftest",
+            "context": {"build_type": build_type},
+            "results": [
+                {"name": n, "ns_per_op": v} for n, v in ns_by_name.items()
+            ],
+        }
+
+    failures = []
+
+    def check(name, got, want):
+        status = "ok" if got == want else f"FAIL (got {got}, want {want})"
+        print(f"self-test: {name:<42} {status}")
+        if got != want:
+            failures.append(name)
+
+    base = suite({"BM_a": 10.0, "BM_b": 5.0})
+    check("identical suites pass",
+          compare(base, suite({"BM_a": 10.0, "BM_b": 5.0}), 0.15), 0)
+    check("20% regression fails at 15%",
+          compare(base, suite({"BM_a": 12.0, "BM_b": 5.0}), 0.15), 1)
+    check("20% regression passes at 25%",
+          compare(base, suite({"BM_a": 12.0, "BM_b": 5.0}), 0.25), 0)
+    check("improvement passes",
+          compare(base, suite({"BM_a": 7.0, "BM_b": 5.0}), 0.15), 0)
+    check("added/dropped benchmarks never fail",
+          compare(base, suite({"BM_a": 10.0, "BM_c": 99.0}), 0.15), 0)
+    check("build-type mismatch refused",
+          compare(base, suite({"BM_a": 10.0}, build_type="Debug"), 0.15), 2)
+
+    # The parser itself: an option value must not become a positional.
+    ns = parse_args(["--threshold", "0.2", "base.json", "fresh.json"])
+    check("option value not eaten as positional",
+          (ns.baseline, ns.fresh, ns.threshold),
+          ("base.json", "fresh.json", 0.2))
+    ns = parse_args(["base.json", "fresh.json", "--threshold", "0.3"])
+    check("trailing --threshold accepted",
+          (ns.baseline, ns.fresh, ns.threshold),
+          ("base.json", "fresh.json", 0.3))
+    ns = parse_args(["base.json", "fresh.json"])
+    check("default threshold", ns.threshold, 0.15)
+
+    if failures:
+        print(f"self-test: {len(failures)} check(s) failed")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", nargs="?", help="committed BENCH_*.json")
+    parser.add_argument("fresh", nargs="?", help="freshly distilled JSON")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed ns/op growth fraction (default 0.15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the script's own checks and exit")
+    return parser.parse_args(argv)
+
+
+def main():
+    ns = parse_args(sys.argv[1:])
+    if ns.self_test:
+        return self_test()
+    if not ns.baseline or not ns.fresh:
+        print("error: baseline and fresh JSON paths are required")
+        return 2
+    base_data, _ = load(ns.baseline)
+    fresh_data, _ = load(ns.fresh)
+    return compare(base_data, fresh_data, ns.threshold)
 
 
 if __name__ == "__main__":

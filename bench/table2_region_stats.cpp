@@ -15,10 +15,17 @@ using namespace regions;
 using namespace regions::harness;
 using namespace regions::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  ObservabilityConfig Obs = parseObservabilityArgs(argc, argv);
   printBanner("Table 2: allocation behaviour with regions", "Table 2");
+  Obs.armIfRequested();
 
   WorkloadOptions Opt = defaultOptions();
+  // --metrics/--trace report on the last workload's manager (rstat is
+  // per-manager; the trace spans all six runs).
+  MetricsSnapshot Metrics;
+  if (Obs.MetricsRequested)
+    Opt.CaptureMetrics = &Metrics;
   TableWriter T({"name", "total allocs", "total kbytes", "max kbytes",
                  "total regions", "max regions", "max kbytes in region",
                  "avg kbytes per region", "avg allocs per region"});
@@ -45,5 +52,6 @@ int main() {
       "\nPaper shape: cfrac allocates the most objects by far; regions are\n"
       "numerous and small for cfrac/grobner/mudlle, few and large for\n"
       "lcc/moss; max live regions stays in single digits to low tens.\n");
+  Obs.report(Metrics);
   return 0;
 }

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validates the JSON artifacts the rstat observability layer emits.
+
+Usage: validate_trace.py --trace trace.json --metrics rstat_metrics.json
+
+Checks that the trace file is well-formed Chrome trace-event JSON
+(the Perfetto / chrome://tracing interchange format) containing only
+the rstat event vocabulary with sane payloads, and that the metrics
+file carries every section and counter invariant a MetricsSnapshot
+guarantees. Exits 0 when both pass, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+EVENT_NAMES = {
+    "newregion",
+    "deleteregion",
+    "deleteregion-refused",
+    "run-grab",
+    "run-free",
+    "coalesce-sweep",
+    "pending-flush",
+    "quarantine-evict",
+}
+
+MANAGER_KEYS = [
+    "totalAllocs", "totalRequestedBytes", "liveRequestedBytes",
+    "maxLiveRequestedBytes", "totalRegions", "liveRegions",
+    "maxLiveRegions", "maxRegionBytes", "deleteAttempts",
+    "deleteFailures", "cleanupThunksRun", "barrierStores",
+    "barrierSameRegion", "barrierAdjustments",
+]
+
+PAGESOURCE_KEYS = [
+    "osBytes", "inUseBytes", "reservedPages", "frontierPages",
+    "freeListedPages", "cachedSinglePages", "quarantinedPages",
+    "coalesceSweeps", "quarantineEvictions",
+]
+
+HISTOGRAM_KEYS = [
+    "regionSizeClasses", "liveRegionSizeClasses", "regionLifetimes",
+]
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def validate_trace(path, errors):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ns":
+        fail(errors, "trace: displayTimeUnit is not 'ns'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, "trace: traceEvents missing or not a list")
+        return 0
+    if not events:
+        fail(errors, "trace: no events recorded (armed run expected some)")
+    per_tid_ts = {}
+    for i, e in enumerate(events):
+        where = f"trace event #{i}"
+        if e.get("name") not in EVENT_NAMES:
+            fail(errors, f"{where}: unknown event name {e.get('name')!r}")
+        if e.get("cat") != "region":
+            fail(errors, f"{where}: cat is not 'region'")
+        if e.get("ph") != "i":
+            fail(errors, f"{where}: ph is not 'i' (instant)")
+        if e.get("s") != "t":
+            fail(errors, f"{where}: scope is not 't' (thread)")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(errors, f"{where}: bad ts {ts!r}")
+        if not isinstance(e.get("tid"), int):
+            fail(errors, f"{where}: bad tid {e.get('tid')!r}")
+        args = e.get("args")
+        if (not isinstance(args, dict)
+                or not isinstance(args.get("a"), int)
+                or not isinstance(args.get("b"), int)):
+            fail(errors, f"{where}: args must carry integer a and b")
+        # Per-ring order: each thread's ring is exported oldest-first,
+        # so timestamps must be non-decreasing within one tid.
+        tid = e.get("tid")
+        if isinstance(ts, (int, float)) and isinstance(tid, int):
+            if ts < per_tid_ts.get(tid, 0):
+                fail(errors, f"{where}: ts goes backwards within tid {tid}")
+            per_tid_ts[tid] = ts
+    names = {e.get("name") for e in events}
+    for expected in ("newregion", "deleteregion", "run-grab", "run-free"):
+        if expected not in names:
+            fail(errors, f"trace: no {expected!r} event in an armed "
+                         "region workload run")
+    return len(events)
+
+
+def validate_metrics(path, errors):
+    with open(path) as f:
+        doc = json.load(f)
+    mgr = doc.get("manager")
+    src = doc.get("pageSource")
+    hist = doc.get("histograms")
+    for section, keys, name in ((mgr, MANAGER_KEYS, "manager"),
+                                (src, PAGESOURCE_KEYS, "pageSource")):
+        if not isinstance(section, dict):
+            fail(errors, f"metrics: missing {name!r} section")
+            continue
+        for k in keys:
+            if not isinstance(section.get(k), int) or section[k] < 0:
+                fail(errors, f"metrics: {name}.{k} missing or not a "
+                             "non-negative integer")
+    if not isinstance(hist, dict):
+        fail(errors, "metrics: missing 'histograms' section")
+        return
+    buckets = hist.get("logBuckets")
+    for k in HISTOGRAM_KEYS:
+        h = hist.get(k)
+        if not isinstance(h, list) or len(h) != buckets:
+            fail(errors, f"metrics: histograms.{k} missing or wrong length")
+        elif any((not isinstance(v, int)) or v < 0 for v in h):
+            fail(errors, f"metrics: histograms.{k} has non-count entries")
+    if not (isinstance(mgr, dict) and isinstance(hist, dict)):
+        return
+    # Cross-section invariants.
+    if isinstance(hist.get("regionSizeClasses"), list):
+        total = sum(hist["regionSizeClasses"])
+        if total != mgr.get("totalRegions"):
+            fail(errors, "metrics: regionSizeClasses does not sum to "
+                         f"totalRegions ({total} vs {mgr.get('totalRegions')})")
+        live = sum(hist.get("liveRegionSizeClasses", []))
+        if live != mgr.get("liveRegions"):
+            fail(errors, "metrics: liveRegionSizeClasses does not sum to "
+                         f"liveRegions ({live} vs {mgr.get('liveRegions')})")
+        lifetimes = sum(hist.get("regionLifetimes", []))
+        if lifetimes != mgr.get("totalRegions") - mgr.get("liveRegions"):
+            fail(errors, "metrics: regionLifetimes does not sum to deleted "
+                         "regions")
+    if isinstance(src, dict):
+        if src.get("inUseBytes", 0) > src.get("osBytes", 1 << 62):
+            fail(errors, "metrics: inUseBytes exceeds osBytes")
+        if src.get("frontierPages", 0) > src.get("reservedPages", 1 << 62):
+            fail(errors, "metrics: frontierPages exceeds reservedPages")
+    if mgr.get("deleteFailures", 0) > mgr.get("deleteAttempts", 0):
+        fail(errors, "metrics: deleteFailures exceeds deleteAttempts")
+    if mgr.get("liveRegions", 0) > mgr.get("totalRegions", 0):
+        fail(errors, "metrics: liveRegions exceeds totalRegions")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", required=True, help="Chrome trace JSON")
+    parser.add_argument("--metrics", required=True, help="metrics JSON")
+    ns = parser.parse_args()
+
+    errors = []
+    n = validate_trace(ns.trace, errors)
+    validate_metrics(ns.metrics, errors)
+    for e in errors:
+        print(f"error: {e}")
+    if errors:
+        print(f"validate_trace: {len(errors)} problem(s)")
+        return 1
+    print(f"validate_trace: ok ({n} trace events, both artifacts valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

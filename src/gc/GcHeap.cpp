@@ -145,7 +145,9 @@ void *GcHeap::doMalloc(std::size_t Size) {
 }
 
 bool GcHeap::isLiveObject(const void *Ptr) const {
-  if (!Source.contains(Ptr))
+  // Handed-out bound, not the whole reservation: beyond the frontier
+  // there are no objects, and the page table rows there are all Free.
+  if (!Source.containsHandedOut(Ptr))
     return false;
   const PageInfo &Info = Pages[Source.pageIndex(Ptr)];
   switch (Info.Kind) {
@@ -166,7 +168,7 @@ bool GcHeap::isLiveObject(const void *Ptr) const {
 
 void GcHeap::markWord(std::uintptr_t Word) {
   auto *Ptr = reinterpret_cast<char *>(Word);
-  if (!Source.contains(Ptr))
+  if (!Source.containsHandedOut(Ptr))
     return;
   std::size_t Idx = Source.pageIndex(Ptr);
   PageInfo *Info = &Pages[Idx];

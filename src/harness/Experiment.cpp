@@ -5,10 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/Experiment.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace regions;
@@ -58,6 +60,56 @@ TimeSplit harness::timeSplit(WorkloadId W, BackendKind B,
   S.BaseMs = runMedian(W, BackendKind::Bump, Opt, Repeats).Millis;
   S.MemoryMs = S.TotalMs > S.BaseMs ? S.TotalMs - S.BaseMs : 0.0;
   return S;
+}
+
+void ObservabilityConfig::armIfRequested() const {
+  if (TraceRequested)
+    rstat::armTracing();
+}
+
+void ObservabilityConfig::report(const MetricsSnapshot &M) const {
+  if (MetricsRequested) {
+    if (MetricsPath) {
+      if (writeMetricsJson(M, MetricsPath))
+        std::printf("metrics: wrote %s\n", MetricsPath);
+      else
+        std::fprintf(stderr, "metrics: cannot write %s\n", MetricsPath);
+    } else {
+      printMetrics(M);
+    }
+  }
+  if (TraceRequested) {
+    long N = rstat::writeChromeTrace(TracePath);
+    if (N < 0)
+      std::fprintf(stderr, "trace: cannot write %s\n", TracePath);
+    else
+      std::printf("trace: wrote %ld event(s) to %s (%zu dropped)\n", N,
+                  TracePath, rstat::droppedEventCount());
+  }
+}
+
+ObservabilityConfig harness::parseObservabilityArgs(int &Argc, char **Argv) {
+  ObservabilityConfig C;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    char *A = Argv[I];
+    if (std::strcmp(A, "--metrics") == 0) {
+      C.MetricsRequested = true;
+    } else if (std::strncmp(A, "--metrics=", 10) == 0) {
+      C.MetricsRequested = true;
+      C.MetricsPath = A + 10;
+    } else if (std::strcmp(A, "--trace") == 0) {
+      C.TraceRequested = true;
+    } else if (std::strncmp(A, "--trace=", 8) == 0) {
+      C.TraceRequested = true;
+      C.TracePath = A + 8;
+    } else {
+      Argv[Out++] = A;
+    }
+  }
+  Argc = Out;
+  Argv[Out] = nullptr;
+  return C;
 }
 
 void harness::printBanner(const char *Title, const char *PaperRef) {

@@ -52,6 +52,37 @@ TimeSplit timeSplit(workloads::WorkloadId W, BackendKind B,
 /// with what knobs).
 void printBanner(const char *Title, const char *PaperRef);
 
+//===----------------------------------------------------------------------===//
+// rstat observability switches (--metrics / --trace)
+//===----------------------------------------------------------------------===//
+
+/// Harness-level rstat switches, parsed out of argv by
+/// parseObservabilityArgs so every bench binary accepts them uniformly:
+///   --metrics         print the MetricsSnapshot as human tables
+///   --metrics=PATH    write it as JSON to PATH instead
+///   --trace[=PATH]    arm event tracing; write Chrome trace JSON to
+///                     PATH (default trace.json) at report time
+struct ObservabilityConfig {
+  bool MetricsRequested = false;
+  bool TraceRequested = false;
+  const char *MetricsPath = nullptr; ///< null: human tables on stdout
+  const char *TracePath = "trace.json";
+
+  /// Opens a tracing epoch if --trace was given. Call before the runs
+  /// being observed; threads attach lazily from there.
+  void armIfRequested() const;
+
+  /// Emits whatever was requested: metrics from \p M (tables or JSON)
+  /// and the trace file (with a one-line summary including events
+  /// written and dropped). Safe to call with neither flag set.
+  void report(const MetricsSnapshot &M) const;
+};
+
+/// Strips the switches above from (Argc, Argv), leaving every other
+/// argument in place and in order. Unrecognized "--metrics-foo"-style
+/// arguments are untouched.
+ObservabilityConfig parseObservabilityArgs(int &Argc, char **Argv);
+
 } // namespace harness
 } // namespace regions
 

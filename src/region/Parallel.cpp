@@ -6,6 +6,7 @@
 
 #include "region/Parallel.h"
 #include "support/Compiler.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -23,6 +24,9 @@ ParallelSpace::~ParallelSpace() {
 }
 
 unsigned ParallelSpace::registerThread() {
+  // rstat lazy attach: worker threads usually reach the library first
+  // through here. No-op (one relaxed load) when tracing is disarmed.
+  rstat::attachThread();
   std::lock_guard<std::mutex> Guard(Lock);
   if (!FreeTids.empty()) {
     unsigned Tid = FreeTids.back();

@@ -7,6 +7,7 @@
 #include "region/Region.h"
 #include "region/RuntimeStack.h"
 #include "support/Compiler.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -34,6 +35,9 @@ RegionManager::RegionManager(SafetyConfig Config, std::size_t ReserveBytes)
   // kRsanDefaultQuarantinePages is zero otherwise, so this is a no-op.
   if (detail::kRsanDefaultQuarantinePages != 0)
     Source.setQuarantineBudget(detail::kRsanDefaultQuarantinePages);
+  // rstat lazy attach: if a tracing epoch is open, this thread records
+  // into it from here on. No-op (one relaxed load) when disarmed.
+  rstat::attachThread();
 }
 
 RegionManager::~RegionManager() {
@@ -51,6 +55,44 @@ RegionManager::~RegionManager() {
 thread_local RGN_CONSTINIT regions::detail::PendingCountBuffer
     regions::detail::GPendingCounts;
 
+namespace {
+
+/// The thread-exit half of the pending-count buffer. GPendingCounts
+/// itself must stay trivially destructible — that triviality is what
+/// lets the barrier fast path load it with no TLS init guard — so the
+/// buffer cannot drain itself when its thread dies. Before this
+/// companion existed, a thread that exited holding buffered ±1 deltas
+/// simply lost them: a later deleteregion could then succeed with a
+/// live external reference (use-after-free) or refuse a legal delete
+/// forever (leak).
+///
+/// The companion is an ordinary thread_local with a destructor, so the
+/// C++ runtime (__cxa_thread_atexit) runs it at thread exit. It is
+/// constructed — i.e. its one-time TLS guard is paid — only inside
+/// installSlow, the sole place a buffered entry is ever created, so
+/// the tag-match hot path still compiles to guard-free TLS loads.
+///
+/// Destruction order: thread_locals destroy in reverse construction
+/// order, so TLS objects built *after* the first buffered deposit die
+/// before the flusher and their cross-region stores are drained here
+/// normally. TLS objects built *before* it die after the drain; their
+/// deposits find AtExit set and apply directly in installSlow (the
+/// tag-match path cannot resurrect a drained entry because flushSlow
+/// nulls the tags).
+struct PendingCountFlusher {
+  bool Armed = false;
+  ~PendingCountFlusher() {
+    if (!Armed)
+      return;
+    regions::detail::flushPendingCounts();
+    regions::detail::GPendingCounts.AtExit = 1;
+  }
+};
+
+thread_local PendingCountFlusher GPendingFlusher;
+
+} // namespace
+
 void regions::detail::PendingCountBuffer::flushSlow() {
   // Tags must be nulled, not just the bitmask cleared: a deleted
   // region's pages can be reissued to a new region at the same
@@ -58,6 +100,8 @@ void regions::detail::PendingCountBuffer::flushSlow() {
   // flushes before freeing, so nulling here closes that ABA window.
   unsigned Live = Occupied;
   Occupied = 0;
+  rstat::traceEvent(rstat::EventKind::PendingFlush,
+                    static_cast<std::uint64_t>(__builtin_popcount(Live)));
   while (Live) {
     unsigned I = static_cast<unsigned>(__builtin_ctz(Live));
     Live &= Live - 1;
@@ -79,6 +123,18 @@ void regions::Region::spillBarrierPacked() {
 
 void regions::detail::PendingCountBuffer::installSlow(unsigned I, Region *R,
                                                       long long D) {
+  // Past the exit drain (another TLS destructor is doing cross-region
+  // stores): re-buffering would lose the delta for good, so apply it
+  // directly. The region is necessarily still live — something on this
+  // thread holds a reference it is in the middle of retargeting.
+  if (RGN_UNLIKELY(AtExit != 0)) {
+    R->rcAdd(D);
+    return;
+  }
+  // First buffered entry on this thread constructs the companion
+  // flusher, registering the exit drain; later calls just set a TLS
+  // bool it already owns.
+  GPendingFlusher.Armed = true;
   // Collision: the slot's current occupant loses its buffering — apply
   // its delta directly and hand the slot to the newcomer. Distinct
   // regions never share a page, so the tag compare in the caller is
@@ -133,6 +189,7 @@ char *RegionManager::carvePage(Region *R, bool &Zeroed) {
     char *Base = static_cast<char *>(Source.allocPages(N, &RunZeroed));
     auto Idx = static_cast<std::uint32_t>(Source.pageIndex(Base));
     recordRun(R, Idx, N);
+    rstat::traceEvent(rstat::EventKind::RunGrab, Idx, N);
     // The whole run maps to R immediately: regionOf on an uncarved page
     // answers R, which is correct — the pages are owned by (and die
     // with) this region.
@@ -217,6 +274,8 @@ Region *RegionManager::newRegion() {
   // cursor starts exhausted, so the next page grabs a fresh run.
   R->InlineRuns[0] = {static_cast<std::uint32_t>(Source.pageIndex(Page)), 1};
   R->NumRuns = 1;
+  rstat::traceEvent(rstat::EventKind::NewRegion, R->Id);
+  rstat::traceEvent(rstat::EventKind::RunGrab, R->InlineRuns[0].PageIdx, 1);
 
   R->NextLive = LiveHead;
   if (LiveHead)
@@ -300,6 +359,8 @@ void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
   detail::rsanStampObject(Block + detail::kLargeSizeOff, Size, Aligned);
   recordRun(R, static_cast<std::uint32_t>(Source.pageIndex(Block)),
             static_cast<std::uint32_t>(NumPages));
+  rstat::traceEvent(rstat::EventKind::RunGrab, Source.pageIndex(Block),
+                    static_cast<std::uint32_t>(NumPages));
   setMapRange(Block, NumPages, R);
   if ((Zeroed || (Thunk && Cfg.ZeroMemory)) && !PagesZeroed)
     std::memset(Block + detail::kLargePayloadOff, 0, Aligned);
@@ -366,7 +427,7 @@ void RegionManager::runCleanups(Region *R) {
   Stats.CleanupThunksRun += ThunksRun;
 }
 
-void RegionManager::freeRegionMemory(Region *R) {
+std::size_t RegionManager::freeRegionMemory(Region *R) {
   // Fold the dying region's deferred per-allocation counters into the
   // global view. Live bytes only ever decrease here, so sampling the
   // watermark just before the drop observes every peak exactly as
@@ -384,6 +445,11 @@ void RegionManager::freeRegionMemory(Region *R) {
   if (R->ReqBytes > Stats.MaxRegionBytes)
     Stats.MaxRegionBytes = R->ReqBytes;
   --Stats.LiveRegions;
+  // rstat histograms: the region's final size class, and its lifetime
+  // on the region-creation logical clock (siblings created since its
+  // birth; ≥1 because its own creation ticked the clock).
+  ++DeadSizeClasses[detail::metricsBucket(R->ReqBytes)];
+  ++DeadLifetimes[detail::metricsBucket(NextRegionId - R->Id)];
   if (R->PrevLive)
     R->PrevLive->NextLive = R->NextLive;
   else
@@ -401,15 +467,19 @@ void RegionManager::freeRegionMemory(Region *R) {
   std::uint32_t NumRuns = R->NumRuns;
 
   char *Base = Source.base();
+  std::size_t PagesFreed = 0;
   for (std::uint32_t I = 0; I != NumRuns; ++I) {
     detail::PageRun Run =
         I < Region::kInlineRuns ? Runs[I] : Overflow[I - Region::kInlineRuns];
     std::fill(Map + Run.PageIdx, Map + Run.PageIdx + Run.NumPages,
               static_cast<Region *>(nullptr));
+    rstat::traceEvent(rstat::EventKind::RunFree, Run.PageIdx, Run.NumPages);
     Source.freePages(Base + std::size_t{Run.PageIdx} * kPageSize,
                      Run.NumPages);
+    PagesFreed += Run.NumPages;
   }
   std::free(Overflow);
+  return PagesFreed;
 }
 
 bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
@@ -450,6 +520,9 @@ bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
             : 0;
     if (R->RC != HandleContribution || TopRefs != 0) {
       ++Stats.DeleteFailures;
+      rstat::traceEvent(rstat::EventKind::DeleteRegionFail, R->Id,
+                        static_cast<std::uint32_t>(
+                            R->RC < 0 ? 0 : R->RC + TopRefs));
       return false;
     }
   }
@@ -464,7 +537,10 @@ bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
     runCleanups(R);
   if (HandleSlot)
     *HandleSlot = nullptr; // cleared without barrier: the count dies with R
-  freeRegionMemory(R);
+  std::uint64_t Id = R->Id; // R's storage is gone after the free
+  std::size_t PagesFreed = freeRegionMemory(R);
+  rstat::traceEvent(rstat::EventKind::DeleteRegionOk, Id,
+                    static_cast<std::uint32_t>(PagesFreed));
   return true;
 }
 

@@ -42,6 +42,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <new>
 #include <type_traits>
@@ -50,6 +51,7 @@
 namespace regions {
 
 class RegionManager;
+struct MetricsSnapshot;
 
 namespace rt {
 struct SlotNode;
@@ -65,6 +67,19 @@ struct PageRun {
   std::uint32_t PageIdx;
   std::uint32_t NumPages;
 };
+
+/// Buckets in the rstat region histograms (region/Metrics.h): log2
+/// buckets over 64-bit counts — bucket 0 for zero, bucket n for values
+/// in (2^(n-2), 2^(n-1)].
+inline constexpr unsigned kMetricsLogBuckets = 33;
+
+/// Histogram bucket for \p Value under the scheme above.
+inline unsigned metricsBucket(std::uint64_t Value) {
+  if (Value == 0)
+    return 0;
+  unsigned Log = 64u - static_cast<unsigned>(__builtin_clzll(Value));
+  return Log < kMetricsLogBuckets ? Log : kMetricsLogBuckets - 1;
+}
 
 } // namespace detail
 
@@ -376,11 +391,28 @@ RGN_ALWAYS_INLINE void rsanStampObject(char *Hdr, std::size_t Size,
 ///
 /// Intentionally aggregate-initialized (no NSDMIs): the thread_local
 /// instance is zero-initialized statically, so access pays no TLS guard.
+///
+/// Thread exit: the buffer itself is trivially destructible (that is
+/// what keeps the hot path guard-free), so a *companion* thread_local
+/// with a destructor (PendingCountFlusher, in Region.cpp) drains it
+/// when the thread dies — a thread that exits holding buffered ±1
+/// deltas would otherwise lose them forever, letting a later
+/// deleteregion wrongly succeed with a live external reference or
+/// wrongly refuse one. The companion is touched only in installSlow
+/// (the only place a buffered entry is ever created), so the hot path
+/// keeps loading the constinit buffer directly, with no init guard.
 struct PendingCountBuffer {
   static constexpr unsigned kEntries = 8; ///< power of two: direct-mapped
   Region *Rgn[kEntries];
   long long Delta[kEntries];
   unsigned Occupied; ///< bitmask of live entries
+  /// Set by the companion flusher's destructor: the thread is exiting
+  /// and the buffer has been drained. Later deposits on this thread
+  /// (from other thread_local destructors running cross-region stores)
+  /// apply directly instead of re-buffering, so nothing can be lost
+  /// after the drain. Never set on a live thread — the hot paths
+  /// never read it.
+  unsigned AtExit;
 
   /// Applies every buffered adjustment and empties the buffer (entries
   /// are cleared so a dead region's address can never tag-match a
@@ -388,7 +420,8 @@ struct PendingCountBuffer {
   void flushSlow();
 
   /// Evicts the colliding entry (applying its delta directly) and
-  /// installs \p R in slot \p I.
+  /// installs \p R in slot \p I; arms the calling thread's exit
+  /// flusher. Applies \p D directly when the thread is past its drain.
   void installSlow(unsigned I, Region *R, long long D);
 };
 
@@ -572,6 +605,23 @@ public:
   /// Number of regions currently live.
   std::size_t liveRegionCount() const { return Stats.LiveRegions; }
 
+  //===--------------------------------------------------------------------===//
+  // rstat observability (region/Metrics.h, support/Trace.h)
+  //===--------------------------------------------------------------------===//
+
+  /// Captures a MetricsSnapshot of this manager: stats() exactly, the
+  /// PageSource frontier/free-list/quarantine state, and the region
+  /// size-class and lifetime histograms. Cold: walks the live-region
+  /// list once. Defined in Metrics.cpp.
+  MetricsSnapshot metrics() const;
+
+  /// Heap introspection: prints every live region — reference count,
+  /// allocation/byte totals, page runs, and the per-page chains with
+  /// kind/flags/bytes-used — for debugging refused deletions at scale.
+  /// Flushes the calling thread's pending counts first so the printed
+  /// counts are exact. Defined in Metrics.cpp.
+  void dumpHeap(std::FILE *Out = stdout) const;
+
   /// Largest size allocScanned serves from a normal page; bigger
   /// requests take the large-object path transparently. Hardened
   /// builds shave off the per-object size header and red zone.
@@ -617,7 +667,7 @@ private:
   void *allocScannedSlow(Region *R, std::size_t Size, ScanThunk Thunk);
   void *allocLarge(Region *R, std::size_t Size, ScanThunk Thunk, bool Zeroed);
   void runCleanups(Region *R);
-  void freeRegionMemory(Region *R);
+  std::size_t freeRegionMemory(Region *R); ///< returns pages released
   void setMapRange(const void *Page, std::size_t NumPages, Region *R);
 
   PageSource Source;
@@ -631,6 +681,14 @@ private:
   mutable RegionStats StatsSnapshot; ///< storage for stats()'s result
   Region *LiveHead = nullptr;
   unsigned NextRegionId = 0;
+  /// rstat histograms over *deleted* regions, bumped in
+  /// freeRegionMemory (a cold path — the histograms are region-
+  /// granularity precisely so the allocation fast path stays
+  /// untouched). Live regions' size classes are summed on demand by
+  /// metrics(). Buckets are metricsBucket() of final requested bytes
+  /// and of lifetime on the region-creation logical clock.
+  std::uint64_t DeadSizeClasses[detail::kMetricsLogBuckets] = {};
+  std::uint64_t DeadLifetimes[detail::kMetricsLogBuckets] = {};
 };
 
 //===----------------------------------------------------------------------===//

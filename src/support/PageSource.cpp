@@ -6,6 +6,7 @@
 
 #include "support/PageSource.h"
 #include "support/Compiler.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -192,6 +193,7 @@ bool PageSource::takeRunEndingAtFrontier(Run &Out) {
 }
 
 void PageSource::coalesceFreeRuns() {
+  ++NumCoalesceSweeps;
   // Gather every listed run, merge adjacent ones, redistribute. O(free
   // runs · log) per sweep, and a sweep only runs when an allocation
   // would otherwise grow the frontier past reusable space — the
@@ -213,6 +215,7 @@ void PageSource::coalesceFreeRuns() {
   std::sort(All.begin(), All.end(),
             [](const Run &A, const Run &B) { return A.PageIdx < B.PageIdx; });
 
+  std::size_t RunsAfter = 0;
   for (std::size_t I = 0, E = All.size(); I != E;) {
     Run Merged = All[I++];
     while (I != E && All[I].PageIdx == Merged.PageIdx + Merged.NumPages) {
@@ -220,13 +223,17 @@ void PageSource::coalesceFreeRuns() {
       ++I;
     }
     recycleRun(Merged.PageIdx, Merged.NumPages);
+    ++RunsAfter;
   }
   CoalesceDirty = false; // recycleRun above re-set it; everything merged
+  rstat::traceEvent(rstat::EventKind::CoalesceSweep, All.size(),
+                    static_cast<std::uint32_t>(RunsAfter));
 }
 
 void PageSource::freePages(void *Ptr, std::size_t NumPages) {
   assert(NumPages > 0 && "cannot free an empty page run");
-  assert(contains(Ptr) && "pointer does not belong to this PageSource");
+  assert(containsHandedOut(Ptr) &&
+         "pointer was never handed out by this PageSource");
   assert(isAligned(Ptr, kPageSize) && "page run must be page-aligned");
   assert(PagesInUse >= NumPages && "freeing more pages than allocated");
   PagesInUse -= NumPages;
@@ -279,6 +286,8 @@ void PageSource::evictOldestQuarantined() {
   assert(QuarantineHead < Quarantine.size() && "quarantine is empty");
   Run R = Quarantine[QuarantineHead++];
   NumQuarantinedPages -= R.NumPages;
+  ++NumQuarantineEvictions;
+  rstat::traceEvent(rstat::EventKind::QuarantineEvict, R.PageIdx, R.NumPages);
   // The 0xD5 bytes stay — the page is merely dirty, and every recycled
   // path reports dirty pages as non-zero — but the ASan protection must
   // lift before the next owner touches it.
@@ -331,4 +340,6 @@ void PageSource::resetForTesting() {
   Quarantine.clear();
   QuarantineHead = 0;
   NumQuarantinedPages = 0;
+  NumCoalesceSweeps = 0;
+  NumQuarantineEvictions = 0;
 }

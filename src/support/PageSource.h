@@ -111,8 +111,21 @@ public:
   std::size_t inUseBytes() const { return PagesInUse * kPageSize; }
 
   /// True if \p Ptr lies within the reserved arena (whether or not the
-  /// page it points into is currently handed out).
+  /// page it points into is currently handed out). The bound is the
+  /// full reservation, exactly as documented — it used to be the
+  /// frontier, which silently excluded reserved-but-unissued pages and
+  /// made the answer depend on allocation history.
   bool contains(const void *Ptr) const {
+    auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+    auto Base = reinterpret_cast<std::uintptr_t>(ArenaBase);
+    return Addr >= Base && Addr < Base + TotalPages * kPageSize;
+  }
+
+  /// True if \p Ptr lies within a page this source has ever handed out
+  /// (i.e. below the frontier). Clients that probe arbitrary words —
+  /// the conservative GC's root scan — want this tighter test: beyond
+  /// the frontier there is no client data, only untouched reservation.
+  bool containsHandedOut(const void *Ptr) const {
     auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
     auto Base = reinterpret_cast<std::uintptr_t>(ArenaBase);
     return Addr >= Base && Addr < Base + Frontier * kPageSize;
@@ -141,6 +154,18 @@ public:
   /// Number of single pages currently held in the inline recycle cache
   /// (exposed for tests).
   std::size_t cachedSinglePages() const { return NumCachedPages; }
+
+  /// Pages ever handed out (the frontier), in pages rather than the
+  /// bytes of osBytes() — rstat reports both views.
+  std::size_t frontierPages() const { return Frontier; }
+
+  /// Deferred-coalescing sweeps run so far (each sweep merges every
+  /// adjacent free-run pair; see coalesceFreeRuns).
+  std::size_t coalesceSweeps() const { return NumCoalesceSweeps; }
+
+  /// Quarantined runs evicted into the free lists so far (budget
+  /// overflow, drainQuarantine, or a budget cut).
+  std::size_t quarantineEvictions() const { return NumQuarantineEvictions; }
 
   /// Pages sitting in the free lists (cache, bins, large-run list) —
   /// the pool deferred coalescing can merge. Excludes quarantined runs,
@@ -232,6 +257,9 @@ private:
   std::size_t QuarantineHead = 0;     ///< index of the oldest live run
   std::size_t NumQuarantinedPages = 0;
   std::size_t QuarantineBudget = 0;   ///< pages; 0 disables quarantining
+  // rstat counters (cold paths only).
+  std::size_t NumCoalesceSweeps = 0;
+  std::size_t NumQuarantineEvictions = 0;
 };
 
 } // namespace regions

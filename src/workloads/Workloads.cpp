@@ -205,6 +205,8 @@ RunResult workloads::runWorkload(WorkloadId W, BackendKind Backend,
     RegionModel Mem(Mgr, CachePtr);
     R = dispatchMaybeTimed(W, Mem, Opt);
     fillFromRegions(R, Mgr);
+    if (Opt.CaptureMetrics)
+      *Opt.CaptureMetrics = Mgr.metrics();
     break;
   }
   // The malloc/free rows run the region-structured program on the

@@ -17,6 +17,7 @@
 #include "backend/Backend.h"
 #include "cachesim/CacheSim.h"
 #include "gc/GcHeap.h"
+#include "region/Metrics.h"
 #include "region/Region.h"
 
 #include <cstdint>
@@ -61,6 +62,10 @@ struct WorkloadOptions {
   /// Safety configuration for BackendKind::RegionSafe (Figure 11 togg-
   /// les individual components); RegionUnsafe always disables all.
   SafetyConfig RegionConfig = SafetyConfig::safeConfig();
+  /// When non-null and the backend is region-based, receives the
+  /// manager's rstat MetricsSnapshot captured just before teardown
+  /// (harness --metrics plumbing; ignored by other backends).
+  MetricsSnapshot *CaptureMetrics = nullptr;
 };
 
 /// Uniform result record for the §5 tables.

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace regions;
 using rt::Frame;
 using rt::RegionHandle;
@@ -189,6 +191,80 @@ TEST_F(BarrierCountingTest, AssignKnownRegionCrossRegionValueDies) {
   EXPECT_DEATH(assignKnownRegion(Holder->Next, InB, A.get()),
                "new value must live in the claimed region");
   assignKnownRegion(Holder->Next, static_cast<Node *>(nullptr), A.get());
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread exit drains the pending buffer
+//===----------------------------------------------------------------------===//
+
+TEST_F(BarrierCountingTest, ThreadExitFlushesBufferedIncrement) {
+  // Regression test: a thread that exits holding a buffered +1 used to
+  // lose it (the constinit buffer has no destructor), so this deletion
+  // wrongly SUCCEEDED with InA->Next still pointing into B — the exact
+  // use-after-free the counts exist to prevent.
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  Node *InA = rnew<Node>(A, 1);
+  Node *InB = rnew<Node>(B, 2);
+  std::thread([&] {
+    // The +1 for B lands in THIS thread's pending buffer; nothing on
+    // this thread ever inspects a count, so only the exit flusher can
+    // deliver it.
+    InA->Next = InB;
+  }).join();
+  EXPECT_EQ(B->referenceCount(), 1)
+      << "buffered +1 from the exited thread was lost";
+  EXPECT_FALSE(deleteRegion(B))
+      << "cross-region reference stored by an exited thread must still "
+         "veto deletion";
+  InA->Next = nullptr;
+  EXPECT_TRUE(deleteRegion(B));
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+TEST_F(BarrierCountingTest, ThreadExitFlushesBufferedDecrement) {
+  // The mirror image: the exiting thread clears the reference, and its
+  // buffered -1 must land or the deletion is refused forever (a leak).
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  Node *InA = rnew<Node>(A, 1);
+  InA->Next = rnew<Node>(B, 2);
+  EXPECT_EQ(B->referenceCount(), 1);
+  std::thread([&] { InA->Next = nullptr; }).join();
+  EXPECT_EQ(B->referenceCount(), 0)
+      << "buffered -1 from the exited thread was lost";
+  EXPECT_TRUE(deleteRegion(B))
+      << "deletion must succeed once the exited thread's store cleared "
+         "the last reference";
+  EXPECT_TRUE(deleteRegion(A));
+}
+
+TEST_F(BarrierCountingTest, ManyExitingThreadsLeaveCountsExact) {
+  // Thread churn with deltas that cancel across threads: every buffered
+  // ±1 must survive its thread. Serial joins keep the store ordering
+  // well-defined (each thread sees the previous one's stores).
+  Frame F;
+  RegionHandle A = Mgr.newRegion();
+  RegionHandle B = Mgr.newRegion();
+  constexpr int kThreads = 16;
+  Node *Holders[kThreads];
+  Node *InB = rnew<Node>(B, 0);
+  for (int I = 0; I != kThreads; ++I)
+    Holders[I] = rnew<Node>(A, I);
+  for (int I = 0; I != kThreads; ++I)
+    std::thread([&, I] {
+      Holders[I]->Next = InB;              // +1 B
+      if (I % 2)
+        Holders[I]->Next = nullptr;        // -1 B, same thread
+    }).join();
+  EXPECT_EQ(B->referenceCount(), kThreads / 2);
+  for (int I = 0; I != kThreads; I += 2)
+    Holders[I]->Next = nullptr;
+  EXPECT_EQ(B->referenceCount(), 0);
   EXPECT_TRUE(deleteRegion(B));
   EXPECT_TRUE(deleteRegion(A));
 }

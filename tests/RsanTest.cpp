@@ -168,6 +168,23 @@ TEST(RsanQuarantine, ShrinkingBudgetEvictsDown) {
   EXPECT_EQ(Src.allocPages(1), Runs[2]);
 }
 
+TEST(RsanQuarantine, EvictionCounterCountsEveryPath) {
+  PageSource Src(std::size_t{4} << 20);
+  Src.setQuarantineBudget(2);
+  EXPECT_EQ(Src.quarantineEvictions(), 0u);
+  void *Runs[4];
+  for (auto &R : Runs)
+    R = Src.allocPages(1);
+  for (auto *R : Runs)
+    Src.freePages(R, 1);
+  // Four quarantined singles against a budget of two: two forced out.
+  EXPECT_EQ(Src.quarantineEvictions(), 2u);
+  Src.drainQuarantine();
+  EXPECT_EQ(Src.quarantineEvictions(), 4u) << "drain evicts the rest";
+  Src.resetForTesting();
+  EXPECT_EQ(Src.quarantineEvictions(), 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // RegionManager-level quarantine
 //===----------------------------------------------------------------------===//

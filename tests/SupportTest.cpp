@@ -194,6 +194,54 @@ TEST(PageSourceTest, ContainsAndPageIndex) {
   EXPECT_FALSE(S.contains(&Local));
 }
 
+TEST(PageSourceTest, ContainsCoversWholeReservedArena) {
+  // Regression test: contains() documented "within the reserved arena"
+  // but tested the frontier, so an address between the frontier and
+  // the end of the reservation answered false — and the answer for a
+  // fixed address changed as unrelated allocations moved the frontier.
+  PageSource S(1 << 20);
+  S.allocPages(2); // frontier = 2 pages; reservation = 256 pages
+  ASSERT_LT(std::size_t{2}, S.reservedPages());
+  char *BetweenFrontierAndEnd = S.base() + 5 * kPageSize;
+  EXPECT_TRUE(S.contains(BetweenFrontierAndEnd))
+      << "reserved-but-unissued pages are inside the arena";
+  EXPECT_TRUE(S.contains(S.base() + S.reservedPages() * kPageSize - 1));
+  EXPECT_FALSE(S.contains(S.base() + S.reservedPages() * kPageSize));
+  EXPECT_FALSE(S.contains(S.base() - 1));
+}
+
+TEST(PageSourceTest, ContainsHandedOutTracksFrontier) {
+  // The tighter probe the GC's root scan wants: only pages that were
+  // actually issued. Monotone in the frontier, not allocation state —
+  // a freed page was still handed out once.
+  PageSource S(1 << 20);
+  EXPECT_FALSE(S.containsHandedOut(S.base()));
+  void *P = S.allocPages(2);
+  EXPECT_TRUE(S.containsHandedOut(P));
+  EXPECT_TRUE(S.containsHandedOut(S.base() + 2 * kPageSize - 1));
+  EXPECT_FALSE(S.containsHandedOut(S.base() + 2 * kPageSize));
+  S.freePages(P, 2);
+  EXPECT_TRUE(S.containsHandedOut(P)) << "freeing does not rewind it";
+  EXPECT_EQ(S.frontierPages(), 2u);
+}
+
+TEST(PageSourceTest, CoalesceSweepCounterTicks) {
+  PageSource S(1 << 20);
+  EXPECT_EQ(S.coalesceSweeps(), 0u);
+  // Two adjacent single-page frees, then an explicit sweep merges them.
+  auto *P = static_cast<char *>(S.allocPages(2));
+  S.freePages(P, 1);
+  S.freePages(P + kPageSize, 1);
+  S.coalesceFreeRuns();
+  EXPECT_EQ(S.coalesceSweeps(), 1u);
+  // The merged pair serves a 2-page request without frontier growth.
+  std::size_t Os = S.osBytes();
+  EXPECT_EQ(S.allocPages(2), P);
+  EXPECT_EQ(S.osBytes(), Os);
+  S.resetForTesting();
+  EXPECT_EQ(S.coalesceSweeps(), 0u) << "reset rewinds the counter";
+}
+
 TEST(PageSourceTest, InUseTracksAllocationsAndFrees) {
   PageSource S(1 << 20);
   void *A = S.allocPages(3);

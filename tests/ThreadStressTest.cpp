@@ -1,0 +1,221 @@
+//===- tests/ThreadStressTest.cpp - TSan-clean multithreaded stress -------===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+// Multithreaded stress aimed at the thread-safety story: concurrent
+// barrier stores inside per-thread managers (buffered pending counts
+// flushing at thread exit), thread churn through a ParallelSpace
+// (register/addRef/dropRef/unregister racing with tryDelete), and
+// armed tracing under the same churn. Run under TSan these tests must
+// be clean; in any build the counts must come out exact after joins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Parallel.h"
+#include "region/Regions.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace regions;
+
+namespace {
+
+struct Node {
+  explicit Node(int V) : Value(V) {}
+  int Value;
+  RegionPtr<Node> Next;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-thread managers: barrier stores and thread-exit flushing
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadStressTest, PerThreadManagersChurnIndependently) {
+  // Each thread runs its own manager — the design's intended mode.
+  // The only shared state is the pending-count buffer machinery's
+  // thread-exit path, exercised kThreads times.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&Failures] {
+      RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+      rt::Frame F;
+      for (int I = 0; I != kRounds; ++I) {
+        rt::RegionHandle A = Mgr.newRegion();
+        rt::RegionHandle B = Mgr.newRegion();
+        Node *NA = rnew<Node>(A, I);
+        NA->Next = rnew<Node>(B, I + 1); // cross-region: buffered +1 on B
+        if (deleteRegion(B)) // must refuse: A still points in
+          Failures.fetch_add(1, std::memory_order_relaxed);
+        NA->Next = nullptr; // buffered -1 on B
+        if (!deleteRegion(B) || !deleteRegion(A))
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Thread exits with an empty buffer here; other iterations of
+      // this test leave deltas pending on purpose (below).
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(ThreadStressTest, ExitFlushesRaceWithMainThreadInspection) {
+  // Worker threads concurrently deposit buffered deltas and exit
+  // without any explicit flush; the exit flushers all run at once.
+  // Each thread targets its own region (exact counting of one
+  // region's RC across threads is ParallelSpace's job, below), so the
+  // only concurrency here is the flusher machinery itself. After the
+  // joins every delta must have landed exactly once.
+  RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+  rt::Frame F;
+  rt::RegionHandle Home = Mgr.newRegion();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  rt::RegionHandle Targets[kThreads];
+  Node *Slots[kThreads];
+  Node *InTarget[kThreads];
+  for (int T = 0; T != kThreads; ++T) {
+    Targets[T] = Mgr.newRegion();
+    Slots[T] = rnew<Node>(Home, T);
+    InTarget[T] = rnew<Node>(Targets[T], T);
+  }
+
+  for (int W = 0; W != kRounds; ++W) {
+    std::vector<std::thread> Wave;
+    for (int T = 0; T != kThreads; ++T)
+      Wave.emplace_back([&, W, T] {
+        if (W & 1) {
+          Slots[T]->Next = nullptr; // buffered -1, left pending at exit
+        } else {
+          Slots[T]->Next = InTarget[T]; // buffered +1, left at exit
+        }
+      });
+    for (std::thread &T : Wave)
+      T.join();
+    long long Expected = (W & 1) ? 0 : 1;
+    for (int T = 0; T != kThreads; ++T)
+      EXPECT_EQ(Targets[T]->referenceCount(), Expected)
+          << "round " << W << " target " << T
+          << ": joined threads' buffered deltas must all be flushed";
+  }
+  for (int T = 0; T != kThreads; ++T) {
+    Slots[T]->Next = nullptr;
+    EXPECT_TRUE(deleteRegion(Targets[T]));
+  }
+  EXPECT_TRUE(deleteRegion(Home));
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelSpace: thread churn against shared regions
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadStressTest, SharedRegionChurnKeepsSumExact) {
+  // kThreads threads churn refs on one shared region while repeatedly
+  // registering and unregistering (slot recycling under contention).
+  // After all joins the sum of local counts must be exactly zero and
+  // deletion must succeed first try.
+  par::ParallelSpace Space;
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  par::SharedRegion *S = Space.share(Mgr.newRegion());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != kRounds; ++I) {
+        par::ThreadSlot Slot(Space); // register/unregister churn
+        Space.addRef(S, Slot);
+        Space.addRef(S, Slot);
+        Space.dropRef(S, Slot);
+        Space.dropRef(S, Slot);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+TEST(ThreadStressTest, SharedExchangeRacesStayBalanced) {
+  // The paper's shared-slot write under real contention: every thread
+  // exchanges the same atomic slot between nullptr and an object in
+  // the shared region. Whatever interleaving happens, the adjustments
+  // pair off; after a final owned store of nullptr the sum is zero.
+  par::ParallelSpace Space;
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  Region *R = Mgr.newRegion();
+  int *Obj = rnewArray<int>(R, 4);
+  par::SharedRegion *S = Space.share(R);
+
+  std::atomic<int *> Slot{nullptr};
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 500;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&] {
+      par::ThreadSlot Tid(Space);
+      for (int I = 0; I != kRounds; ++I) {
+        // Install: new value is in S, displaced value (if any) too.
+        Space.sharedExchange(Slot, Obj, S, S, Tid);
+        // Clear: new value is non-region null, displaced may be in S.
+        Space.sharedExchange(Slot, static_cast<int *>(nullptr),
+                             static_cast<par::SharedRegion *>(nullptr), S,
+                             Tid);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Drop whatever the raced exchanges left installed.
+  Space.sharedExchange(Slot, static_cast<int *>(nullptr),
+                       static_cast<par::SharedRegion *>(nullptr), S,
+                       Space.registerThread());
+  EXPECT_EQ(S->totalCount(), 0)
+      << "every displaced reference must pair with exactly one drop";
+  EXPECT_TRUE(Space.tryDelete(S));
+}
+
+//===----------------------------------------------------------------------===//
+// Armed tracing under churn
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadStressTest, ArmedTracingSurvivesThreadChurn) {
+  // Threads attach (via manager construction), record region events,
+  // and exit while other threads are still recording and the main
+  // thread concurrently polls counters and disarms mid-flight. TSan
+  // must see no races; the rings must retain the exited threads'
+  // events for export.
+  rstat::armTracing(1 << 10);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([] {
+      RegionManager Mgr{SafetyConfig::safeConfig()};
+      for (int I = 0; I != 50; ++I) {
+        Region *R = Mgr.newRegion();
+        Mgr.allocRaw(R, 64);
+        Mgr.deleteRegionRaw(R);
+      }
+    });
+  // Poll from the controlling thread while workers run.
+  std::size_t Seen = 0;
+  for (int I = 0; I != 100; ++I)
+    Seen = rstat::tracedEventCount();
+  for (std::thread &T : Threads)
+    T.join();
+  Seen = rstat::tracedEventCount();
+  EXPECT_GT(Seen, 0u) << "exited workers' rings survive in the registry";
+  rstat::disarmTracing();
+  EXPECT_EQ(rstat::tracedEventCount(), Seen)
+      << "disarm stops recording but loses nothing";
+}
+
+} // namespace
