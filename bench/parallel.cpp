@@ -19,7 +19,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 using namespace regions;
 using namespace regions::par;
@@ -180,6 +182,133 @@ void BM_ShareDeleteCycle(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_ShareDeleteCycle);
+
+/// The sharded claim: distinct regions created by distinct threads
+/// synchronize on distinct locks, so the create/delete slow path
+/// itself scales. Each thread cycles regions from its own manager
+/// through one shared space — under the old single space mutex this
+/// serialized completely.
+void BM_ShareDeleteCycleDistinct(benchmark::State &State) {
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  for (auto _ : State) {
+    SharedRegion *S = GState.Space.share(Mgr.newRegion());
+    rnew<int>(S->region(), 1);
+    bool Deleted = GState.Space.tryDelete(S);
+    benchmark::DoNotOptimize(Deleted);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ShareDeleteCycleDistinct)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8);
+
+/// Bounded SPSC ring for the pipeline benchmark: one producer, one
+/// consumer, release/acquire head/tail. Runs end drained, so the
+/// monotonically wrapping indices never need resetting between
+/// benchmark repetitions.
+struct alignas(64) SpscRing {
+  static constexpr unsigned kCap = 64;
+  struct Entry {
+    SharedRegion *S;
+    int *Payload;
+  };
+  Entry Buf[kCap];
+  alignas(64) std::atomic<unsigned> Head{0}; ///< consumer cursor
+  alignas(64) std::atomic<unsigned> Tail{0}; ///< producer cursor
+
+  bool tryPush(Entry E) {
+    unsigned T = Tail.load(std::memory_order_relaxed);
+    if (T - Head.load(std::memory_order_acquire) == kCap)
+      return false;
+    Buf[T % kCap] = E;
+    Tail.store(T + 1, std::memory_order_release);
+    return true;
+  }
+  bool tryPop(Entry &E) {
+    unsigned H = Head.load(std::memory_order_relaxed);
+    if (Tail.load(std::memory_order_acquire) == H)
+      return false;
+    E = Buf[H % kCap];
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+struct PipeState {
+  SpscRing Msg[kMaxBenchThreads / 2]; ///< producer -> consumer
+  SpscRing Ret[kMaxBenchThreads / 2]; ///< consumer -> producer
+} GPipe;
+
+/// Message-passing pipeline, the paper's intended cross-thread shape:
+/// producers allocate request regions from private managers, share
+/// them, pin them with a local count, and pass pointers through a
+/// ring; consumers read the payload, poll tryDelete (which must
+/// refuse lock-free — the producer's pin is visible in the relaxed
+/// sum), and hand the region back; the producer, whose manager owns
+/// the region, drops its pin and deletes. Even thread indices
+/// produce, odd ones consume; regions are deleted only by the thread
+/// whose manager created them, so manager quiescence holds by
+/// construction.
+void BM_Pipeline(benchmark::State &State) {
+  constexpr int kPipeBatch = 64;
+  const int Pair = State.thread_index() / 2;
+  const bool Producer = (State.thread_index() % 2) == 0;
+  SpscRing &Msg = GPipe.Msg[Pair];
+  SpscRing &Ret = GPipe.Ret[Pair];
+  ThreadSlot Tid(GState.Space);
+
+  if (Producer) {
+    RegionManager Mgr{SafetyConfig::unsafeConfig()};
+    int Outstanding = 0;
+    auto DrainReturns = [&] {
+      SpscRing::Entry E;
+      while (Ret.tryPop(E)) {
+        GState.Space.dropRef(E.S, Tid); // release the pin: sum hits 0
+        if (!GState.Space.tryDelete(E.S))
+          std::abort(); // returned region must delete first try
+        --Outstanding;
+      }
+    };
+    for (auto _ : State) {
+      for (int I = 0; I != kPipeBatch; ++I) {
+        SharedRegion *S = GState.Space.share(Mgr.newRegion());
+        int *Req = rnew<int>(S->region(), I);
+        GState.Space.addRef(S, Tid); // pin before publishing
+        while (!Msg.tryPush({S, Req})) {
+          DrainReturns(); // never park on a full ring holding returns
+          std::this_thread::yield();
+        }
+        ++Outstanding;
+        DrainReturns();
+      }
+    }
+    while (Outstanding != 0) {
+      DrainReturns();
+      std::this_thread::yield();
+    }
+  } else {
+    for (auto _ : State) {
+      for (int I = 0; I != kPipeBatch; ++I) {
+        SpscRing::Entry E;
+        while (!Msg.tryPop(E))
+          std::this_thread::yield();
+        GState.Space.addRef(E.S, Tid); // claim while reading
+        benchmark::DoNotOptimize(*E.Payload);
+        // Polling deletion from the non-owner side: the pins make
+        // this a guaranteed lock-free refusal, never a free.
+        if (GState.Space.tryDelete(E.S))
+          std::abort();
+        GState.Space.dropRef(E.S, Tid);
+        while (!Ret.tryPush(E))
+          std::this_thread::yield();
+      }
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * kPipeBatch);
+}
+BENCHMARK(BM_Pipeline)->Threads(2)->Threads(4)->Threads(8);
 
 } // namespace
 

@@ -64,7 +64,7 @@ Release | RelWithDebInfo) ;;
 esac
 
 cmake --build "$BUILD_DIR" --target micro_alloc barrier parallel teardown \
-  -j >/dev/null
+  table2_region_stats -j >/dev/null
 
 run_one() {
   # $1 binary name, $2 benchmark filter, $3 output json, $4 ns key
@@ -84,6 +84,14 @@ run_one micro_alloc \
 run_one barrier 'BM_' BENCH_barrier.json ns_per_op
 run_one parallel 'BM_' BENCH_parallel.json ns_per_op
 run_one teardown 'BM_' BENCH_teardown.json ns_per_page
+
+# Archive the heap shape next to the timings: a MetricsSnapshot of the
+# Table 2 workload run (rstat's --metrics switch), validated so a
+# broken exporter fails the run rather than silently publishing junk.
+"$BUILD_DIR/bench/table2_region_stats" \
+  --metrics="$OUT_DIR/BENCH_metrics.json" >/dev/null
+python3 "$REPO_DIR/bench/validate_trace.py" \
+  --metrics "$OUT_DIR/BENCH_metrics.json"
 
 if [ "$CHECK" = 1 ]; then
   STATUS=0

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Validates the JSON artifacts the rstat observability layer emits.
 
-Usage: validate_trace.py --trace trace.json --metrics rstat_metrics.json
+Usage: validate_trace.py [--trace trace.json] [--metrics rstat_metrics.json]
 
 Checks that the trace file is well-formed Chrome trace-event JSON
 (the Perfetto / chrome://tracing interchange format) containing only
-the rstat event vocabulary with sane payloads, and that the metrics
-file carries every section and counter invariant a MetricsSnapshot
-guarantees. Exits 0 when both pass, 1 otherwise.
+the rstat event vocabulary with sane payloads — instant lifecycle
+events plus the derived live-regions/live-bytes counter tracks — and
+that the metrics file carries every section and counter invariant a
+MetricsSnapshot guarantees. Either artifact may be validated alone.
+Exits 0 when everything given passes, 1 otherwise.
 """
 
 import argparse
@@ -23,6 +25,16 @@ EVENT_NAMES = {
     "coalesce-sweep",
     "pending-flush",
     "quarantine-evict",
+    "share",
+    "trydelete",
+    "trydelete-refused",
+}
+
+# Derived heap-shape counter tracks ("C" phase events): name -> the
+# args series key carrying the running value.
+COUNTER_NAMES = {
+    "live-regions": "regions",
+    "live-bytes": "bytes",
 }
 
 MANAGER_KEYS = [
@@ -60,22 +72,36 @@ def validate_trace(path, errors):
     if not events:
         fail(errors, "trace: no events recorded (armed run expected some)")
     per_tid_ts = {}
+    counters = 0
     for i, e in enumerate(events):
         where = f"trace event #{i}"
-        if e.get("name") not in EVENT_NAMES:
-            fail(errors, f"{where}: unknown event name {e.get('name')!r}")
         if e.get("cat") != "region":
             fail(errors, f"{where}: cat is not 'region'")
-        if e.get("ph") != "i":
-            fail(errors, f"{where}: ph is not 'i' (instant)")
-        if e.get("s") != "t":
-            fail(errors, f"{where}: scope is not 't' (thread)")
         ts = e.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(errors, f"{where}: bad ts {ts!r}")
         if not isinstance(e.get("tid"), int):
             fail(errors, f"{where}: bad tid {e.get('tid')!r}")
         args = e.get("args")
+        if e.get("ph") == "C":
+            # Derived heap-shape counter: value must be the track's
+            # series key, a non-negative integer (the exporter clamps).
+            counters += 1
+            series = COUNTER_NAMES.get(e.get("name"))
+            if series is None:
+                fail(errors, f"{where}: unknown counter {e.get('name')!r}")
+            elif (not isinstance(args, dict)
+                    or not isinstance(args.get(series), int)
+                    or args[series] < 0):
+                fail(errors, f"{where}: counter args must carry a "
+                             f"non-negative integer {series!r}")
+            continue
+        if e.get("name") not in EVENT_NAMES:
+            fail(errors, f"{where}: unknown event name {e.get('name')!r}")
+        if e.get("ph") != "i":
+            fail(errors, f"{where}: ph is not 'i' (instant)")
+        if e.get("s") != "t":
+            fail(errors, f"{where}: scope is not 't' (thread)")
         if (not isinstance(args, dict)
                 or not isinstance(args.get("a"), int)
                 or not isinstance(args.get("b"), int)):
@@ -92,6 +118,9 @@ def validate_trace(path, errors):
         if expected not in names:
             fail(errors, f"trace: no {expected!r} event in an armed "
                          "region workload run")
+    if "newregion" in names and counters == 0:
+        fail(errors, "trace: no derived counter events ('C' phase) in a "
+                     "trace with region lifecycle instants")
     return len(events)
 
 
@@ -149,19 +178,22 @@ def validate_metrics(path, errors):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trace", required=True, help="Chrome trace JSON")
-    parser.add_argument("--metrics", required=True, help="metrics JSON")
+    parser.add_argument("--trace", help="Chrome trace JSON")
+    parser.add_argument("--metrics", help="metrics JSON")
     ns = parser.parse_args()
+    if not ns.trace and not ns.metrics:
+        parser.error("at least one of --trace / --metrics is required")
 
     errors = []
-    n = validate_trace(ns.trace, errors)
-    validate_metrics(ns.metrics, errors)
+    n = validate_trace(ns.trace, errors) if ns.trace else 0
+    if ns.metrics:
+        validate_metrics(ns.metrics, errors)
     for e in errors:
         print(f"error: {e}")
     if errors:
         print(f"validate_trace: {len(errors)} problem(s)")
         return 1
-    print(f"validate_trace: ok ({n} trace events, both artifacts valid)")
+    print(f"validate_trace: ok ({n} trace events, given artifacts valid)")
     return 0
 
 

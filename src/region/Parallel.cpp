@@ -8,18 +8,21 @@
 #include "support/Compiler.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace regions;
 using namespace regions::par;
 
 ParallelSpace::~ParallelSpace() {
-  std::lock_guard<std::mutex> Guard(Lock);
-  for (SharedRegion *S : Regions)
-    delete S;
-  while (SharedRegion *S = FreePool) {
-    FreePool = S->NextFree;
-    delete S;
+  for (Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Guard(Sh.Lock);
+    for (SharedRegion *S : Sh.Regions)
+      delete S;
+    while (SharedRegion *S = Sh.FreePool) {
+      Sh.FreePool = S->NextFree;
+      delete S;
+    }
   }
 }
 
@@ -27,44 +30,65 @@ unsigned ParallelSpace::registerThread() {
   // rstat lazy attach: worker threads usually reach the library first
   // through here. No-op (one relaxed load) when tracing is disarmed.
   rstat::attachThread();
-  std::lock_guard<std::mutex> Guard(Lock);
+  std::lock_guard<std::mutex> Guard(RegLock);
   if (!FreeTids.empty()) {
     unsigned Tid = FreeTids.back();
     FreeTids.pop_back();
     return Tid;
   }
-  if (NextThread == kMaxThreads)
+  unsigned Next = NextThread.load(std::memory_order_relaxed);
+  if (Next == kMaxThreads)
     reportFatalError("ParallelSpace: too many threads registered");
-  return NextThread++;
+  // Relaxed is enough: a share() that misses this publication sizes
+  // its array short and the new thread folds into Detached — counted
+  // correctly either way.
+  NextThread.store(Next + 1, std::memory_order_relaxed);
+  return Next;
 }
 
 void ParallelSpace::unregisterThread(unsigned Tid) {
-  std::lock_guard<std::mutex> Guard(Lock);
-  assert(Tid < NextThread && "unregistering a slot that was never issued");
+  assert(Tid < NextThread.load(std::memory_order_relaxed) &&
+         "unregistering a slot that was never issued");
   // Bank this thread's balances so the sums are unchanged when the
-  // index is reissued to a thread starting from zero. Regions in the
-  // free pool are already deleted; their counts are dead.
-  for (SharedRegion *S : Regions) {
-    if (Tid >= S->NumSlots)
-      continue; // already accumulating in Detached
-    std::int64_t Balance =
-        S->Local[Tid].Count.exchange(0, std::memory_order_relaxed);
-    if (Balance)
-      S->Detached.fetch_add(Balance, std::memory_order_relaxed);
+  // index is reissued to a thread starting from zero. One shard at a
+  // time: regions shared on other shards meanwhile have a zero count
+  // under this index (the exiting thread makes no more adjustments),
+  // so there is nothing to miss. Pooled regions are already deleted;
+  // their counts are dead.
+  for (Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Guard(Sh.Lock);
+    for (SharedRegion *S : Sh.Regions) {
+      if (Tid >= S->NumSlots)
+        continue; // already accumulating in Detached
+      std::int64_t Balance =
+          S->Local[Tid].Count.exchange(0, std::memory_order_relaxed);
+      if (Balance)
+        S->Detached.fetch_add(Balance, std::memory_order_relaxed);
+    }
   }
+  // Only after the banking walk may the index be reissued: a new
+  // thread starting on this slot must never race the exchange above.
+  std::lock_guard<std::mutex> Guard(RegLock);
+  assert(std::find(FreeTids.begin(), FreeTids.end(), Tid) ==
+             FreeTids.end() &&
+         "double unregisterThread: slot is already free, a reissued "
+         "thread would silently share it");
   FreeTids.push_back(Tid);
 }
 
 SharedRegion *ParallelSpace::share(Region *R) {
   assert(R && "sharing a null region");
-  std::lock_guard<std::mutex> Guard(Lock);
   // Size the local-count array to the slot high-water mark (with a
   // floor for shares that precede registration); indices issued later
   // than that fold into Detached.
-  unsigned Want = NextThread > kMinCountSlots ? NextThread : kMinCountSlots;
-  SharedRegion *S = FreePool;
+  unsigned Registered = NextThread.load(std::memory_order_relaxed);
+  unsigned Want = Registered > kMinCountSlots ? Registered : kMinCountSlots;
+  unsigned ShardIdx = shardOf(R);
+  Shard &Sh = Shards[ShardIdx];
+  std::lock_guard<std::mutex> Guard(Sh.Lock);
+  SharedRegion *S = Sh.FreePool;
   if (S) {
-    FreePool = S->NextFree;
+    Sh.FreePool = S->NextFree;
     S->NextFree = nullptr;
     if (S->NumSlots < Want) {
       delete[] S->Local;
@@ -75,45 +99,80 @@ SharedRegion *ParallelSpace::share(Region *R) {
         S->Local[I].Count.store(0, std::memory_order_relaxed);
     }
     S->Detached.store(0, std::memory_order_relaxed);
-    S->Deleted = false;
+    S->Deleting.store(false, std::memory_order_relaxed);
+    S->Deleted.store(false, std::memory_order_release);
   } else {
     S = new SharedRegion();
     S->Local = new SharedRegion::PaddedCount[Want];
     S->NumSlots = Want;
   }
   S->R = R;
-  S->Index = Regions.size();
-  Regions.push_back(S);
+  S->RegionId = R->id();
+  S->Index = Sh.Regions.size();
+  Sh.Regions.push_back(S);
+  Sh.LiveCount.store(Sh.Regions.size(), std::memory_order_relaxed);
+  rstat::traceEvent(rstat::EventKind::ShareRegion, S->RegionId, ShardIdx);
   return S;
 }
 
 bool ParallelSpace::tryDelete(SharedRegion *S) {
-  std::lock_guard<std::mutex> Guard(Lock);
-  if (S->Deleted)
-    return false;
   // Deletion is a count inspection: the calling thread's buffered
-  // barrier adjustments must be visible in the region counts first.
+  // barrier adjustments must be visible in the region counts first —
+  // before even the optimistic sum, or a zero-looking region could be
+  // refused on this thread's own stale +1.
   detail::flushPendingCounts();
-  if (S->totalCount() != 0)
+  if (S->Deleted.load(std::memory_order_acquire))
     return false;
-  // The summed local counts agree, but the owning manager has the last
-  // word (counted references from its own heap, live stack locals). A
-  // refusal leaves the record live so a later attempt can succeed.
-  RegionManager &Mgr = S->R->manager();
-  if (!Mgr.deleteRegionRaw(S->R))
+  Shard &Sh = Shards[shardOf(S->R)];
+  // Optimistic refusal: a visibly non-zero relaxed sum means this call
+  // could only refuse, so refuse without a lock. Polling threads
+  // ("is the request region dead yet?") pay reads only and never
+  // convoy behind each other. Spurious non-zero is impossible for the
+  // caller's own contribution (flushed above, and its slot is its own
+  // writes); cross-thread counts in flight can at worst turn an
+  // accept into a refuse, which the contract allows at any time.
+  if (S->totalCount() != 0) {
+    Sh.FastRefusals.fetch_add(1, std::memory_order_relaxed);
+    rstat::traceEvent(rstat::EventKind::TryDeleteRefused, S->RegionId,
+                      /*LockFree=*/1);
     return false;
-  S->Deleted = true;
-  // Swap-pop out of the live list and pool the record for reuse.
-  SharedRegion *Back = Regions.back();
-  Regions[S->Index] = Back;
+  }
+  // The sum looks zero: arbitrate. Exactly one concurrent deleter wins
+  // the flag and runs the authoritative locked recheck; losers refuse
+  // lock-free instead of stampeding the shard lock. A successful
+  // delete keeps the flag set (the record is pooled with it), so stale
+  // retries keep failing here or at the Deleted check above.
+  bool Expected = false;
+  if (!S->Deleting.compare_exchange_strong(Expected, true,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+    Sh.FastRefusals.fetch_add(1, std::memory_order_relaxed);
+    rstat::traceEvent(rstat::EventKind::TryDeleteRefused, S->RegionId,
+                      /*LockFree=*/1);
+    return false;
+  }
+  std::lock_guard<std::mutex> Guard(Sh.Lock);
+  // Authoritative recheck under the shard lock, same condition the
+  // single-mutex design enforced: the summed local counts must agree,
+  // and the owning manager has the last word (counted references from
+  // its own heap, live stack locals). A refusal leaves the record live
+  // so a later attempt can succeed.
+  if (S->totalCount() != 0 || !S->R->manager().deleteRegionRaw(S->R)) {
+    S->Deleting.store(false, std::memory_order_release);
+    rstat::traceEvent(rstat::EventKind::TryDeleteRefused, S->RegionId,
+                      /*LockFree=*/0);
+    return false;
+  }
+  S->Deleted.store(true, std::memory_order_release);
+  // Swap-pop out of the shard's live list and pool the record.
+  SharedRegion *Back = Sh.Regions.back();
+  Sh.Regions[S->Index] = Back;
   Back->Index = S->Index;
-  Regions.pop_back();
-  S->NextFree = FreePool;
-  FreePool = S;
+  Sh.Regions.pop_back();
+  Sh.LiveCount.store(Sh.Regions.size(), std::memory_order_relaxed);
+  S->NextFree = Sh.FreePool;
+  Sh.FreePool = S;
+  rstat::traceEvent(rstat::EventKind::TryDeleteOk, S->RegionId,
+                    static_cast<std::uint32_t>(&Sh - Shards));
   return true;
-}
-
-std::size_t ParallelSpace::liveSharedRegions() const {
-  std::lock_guard<std::mutex> Guard(Lock);
-  return Regions.size();
 }

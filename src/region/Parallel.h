@@ -24,14 +24,38 @@
 /// thread's count may go negative (it dropped references another
 /// thread created); only the sum matters.
 ///
+/// The synchronization the paper confines to creation and deletion is
+/// *sharded*: every SharedRegion hashes (by the creating region's
+/// address) onto one of kNumShards cache-line-padded shards, each with
+/// its own lock, live-region table, and pooled-record free list.
+/// share()/tryDelete() on regions in distinct shards never touch the
+/// same lock or lines, so a server workload cycling one region per
+/// request scales with threads instead of convoying on one mutex.
+/// Only thread-slot issuance (registerThread/unregisterThread) remains
+/// a small global critical section, and the slot high-water mark is
+/// published through an atomic so per-shard share() calls size their
+/// local-count arrays coherently without it.
+///
+/// tryDelete() is optimistic: it flushes the caller's buffered count
+/// adjustments, takes a lock-free relaxed sum first, and refuses
+/// without any lock when the sum is visibly non-zero — polling "is it
+/// dead yet" costs reads only. Concurrent deleters of the same region
+/// are arbitrated by a per-record Deleting CAS flag, so losers refuse
+/// lock-free instead of stampeding the shard lock; only a zero-looking
+/// sum takes the shard lock for the authoritative recheck, where the
+/// owning manager still has the last word. The accept/refuse semantics
+/// are unchanged: refusing is always conservative-safe, and a zero sum
+/// is rechecked under the lock before anything is freed.
+///
 /// Local-count storage is sized per SharedRegion when share() runs (at
 /// least kMinCountSlots, at most the slot high-water mark), instead of
 /// a fixed kMaxThreads-wide array; threads whose slot index exceeds a
 /// region's array fold into one shared Detached counter, which is also
 /// where unregisterThread() banks an exiting thread's balances so its
-/// slot index can be reissued. SharedRegion records themselves are
-/// pooled: tryDelete returns the record to a free list that the next
-/// share() reuses.
+/// slot index can be reissued — the banking walk locks one shard at a
+/// time instead of freezing the whole space. SharedRegion records are
+/// pooled per shard: tryDelete returns the record to its shard's free
+/// list and the shard's next share() reuses it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,14 +84,24 @@ inline constexpr unsigned kMaxThreads = 32;
 /// kMinCountSlots thread indices.
 inline constexpr unsigned kMinCountSlots = 8;
 
+/// Shard count for create/delete synchronization. Power of two; eight
+/// shards already out-number the arenas most workloads run (one per
+/// thread manager), so distinct regions land on distinct locks with
+/// high probability while the per-space footprint stays at eight
+/// cache-line-padded entries.
+inline constexpr unsigned kNumShards = 8;
+
 /// A region shared between threads, with per-thread local counts.
 class SharedRegion {
 public:
   Region *region() const { return R; }
 
   /// Sum of all local counts: the region's true external reference
-  /// count. Only meaningful under the space's deletion lock (counts
-  /// keep moving otherwise).
+  /// count. Relaxed reads — exact once the counting threads' writes
+  /// happen-before the call (after a join, or through the message
+  /// channel that handed this record over); a mid-flight racy sum is
+  /// a mere snapshot, which is why tryDelete's lock-free use of it
+  /// can only *refuse*, never free.
   std::int64_t totalCount() const {
     std::int64_t Sum = Detached.load(std::memory_order_relaxed);
     for (unsigned I = 0; I != NumSlots; ++I)
@@ -90,17 +124,26 @@ private:
   Region *R = nullptr;
   PaddedCount *Local = nullptr; ///< owned array of NumSlots entries
   unsigned NumSlots = 0;
-  std::size_t Index = 0;           ///< position in the space's live list
+  unsigned RegionId = 0;  ///< cached R->id(): traceable after R dies
+  std::size_t Index = 0;  ///< position in the owning shard's live list
   SharedRegion *NextFree = nullptr; ///< free-list link while pooled
   /// Catch-all count: threads whose slot index is outside Local, plus
   /// the banked balances of unregistered threads. Contended in theory,
   /// but only ever touched by late-joining threads beyond the array.
   std::atomic<std::int64_t> Detached{0};
-  bool Deleted = false;
+  /// Set once the region is gone; checked first (acquire) so stale
+  /// tryDelete calls are cheap no-ops. Reset when the record is reused.
+  std::atomic<bool> Deleted{false};
+  /// Deletion arbitration: the CAS winner owns the authoritative
+  /// locked recheck; losers refuse lock-free instead of queueing on
+  /// the shard lock. Left set by a successful delete (the record is
+  /// pooled with it) and cleared on refusal or reuse.
+  std::atomic<bool> Deleting{false};
 };
 
 /// Coordinates shared regions between threads (the paper's global
-/// synchronization point for creation and deletion).
+/// synchronization point for creation and deletion, sharded so
+/// distinct regions never contend).
 class ParallelSpace {
 public:
   ParallelSpace() = default;
@@ -109,23 +152,30 @@ public:
   ~ParallelSpace();
 
   /// Assigns the calling context a thread slot [0, kMaxThreads),
-  /// reusing indices released by unregisterThread.
+  /// reusing indices released by unregisterThread. Registration is the
+  /// one remaining global critical section (slot issuance must be
+  /// unique across shards); it is short and off every per-region path.
   unsigned registerThread();
 
   /// Releases thread slot \p Tid: its balance in every live shared
   /// region is folded into that region's detached count (the sums are
   /// unchanged), and the index becomes reusable by a later
-  /// registerThread. The thread must make no further adjustments under
-  /// this index. Prefer the ThreadSlot RAII wrapper.
+  /// registerThread. The banking walk locks one shard at a time — the
+  /// space keeps serving share/tryDelete on other shards throughout.
+  /// The thread must make no further adjustments under this index;
+  /// releasing an index twice is a debug-checked error (it would let
+  /// two live threads share one slot). Prefer the ThreadSlot RAII
+  /// wrapper.
   void unregisterThread(unsigned Tid);
 
   /// Wraps a region created by the calling thread's manager as shared.
-  /// Creation synchronizes on the space lock (paper's requirement).
-  /// The creating handle is not counted: like deleteregion's *x, the
-  /// creator transfers its reference into the space. The returned
-  /// record is owned by the space and may be pooled for reuse after a
-  /// successful tryDelete — holding a SharedRegion* past that point is
-  /// a use-after-free in spirit even though the storage stays valid.
+  /// Creation synchronizes on the region's shard lock only (paper's
+  /// requirement, narrowed). The creating handle is not counted: like
+  /// deleteregion's *x, the creator transfers its reference into the
+  /// space. The returned record is owned by the space and may be
+  /// pooled for reuse after a successful tryDelete — holding a
+  /// SharedRegion* past that point is a use-after-free in spirit even
+  /// though the storage stays valid.
   SharedRegion *share(Region *R);
 
   /// Adjusts the calling thread's local count for \p S — no
@@ -156,19 +206,63 @@ public:
     return Old;
   }
 
-  /// Attempts to delete the shared region: synchronizes, flushes the
-  /// calling thread's buffered count adjustments (deletion is a count
-  /// inspection), sums the local counts, and destroys the region iff
-  /// the sum is zero and the owning manager agrees no other counted or
-  /// stack reference survives. On failure nothing changes and a later
-  /// attempt may succeed. The caller must guarantee the owning manager
-  /// is quiescent.
+  /// Attempts to delete the shared region: flushes the calling
+  /// thread's buffered count adjustments (deletion is a count
+  /// inspection), then runs the optimistic protocol — a lock-free
+  /// relaxed sum that refuses immediately when visibly non-zero, a
+  /// Deleting CAS that turns concurrent same-region deleters away
+  /// lock-free, and only then the shard lock for the authoritative
+  /// recheck, where the owning manager agrees no other counted or
+  /// stack reference survives before the region is destroyed. On
+  /// failure nothing changes and a later attempt may succeed. The
+  /// caller must guarantee the owning manager is quiescent.
   bool tryDelete(SharedRegion *S);
 
-  /// Number of shared regions not yet deleted (diagnostics).
-  std::size_t liveSharedRegions() const;
+  /// Number of shared regions not yet deleted (diagnostics). Lock-free:
+  /// a relaxed sum of the per-shard size counters — exact whenever the
+  /// space is quiescent, a snapshot otherwise.
+  std::size_t liveSharedRegions() const {
+    std::size_t N = 0;
+    for (const Shard &Sh : Shards)
+      N += Sh.LiveCount.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// tryDelete refusals that never touched a shard lock (the visibly
+  /// non-zero sum and lost-CAS paths). Diagnostics/tests: proves the
+  /// polling path stays lock-free.
+  std::uint64_t lockFreeRefusals() const {
+    std::uint64_t N = 0;
+    for (const Shard &Sh : Shards)
+      N += Sh.FastRefusals.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// Which shard \p R's SharedRegion record lives in (diagnostics).
+  static unsigned shardOf(const Region *R) {
+    // Regions sit in their own first page, so the page number is the
+    // identity; a Fibonacci multiply spreads consecutive pages (one
+    // manager's back-to-back regions) across shards.
+    auto Page =
+        reinterpret_cast<std::uintptr_t>(R) >> kPageShift;
+    return static_cast<unsigned>((Page * 0x9E3779B97F4A7C15ull) >> 32) &
+           (kNumShards - 1);
+  }
 
 private:
+  /// One synchronization domain: lock, live table, pooled records,
+  /// and the lock-free mirrors readers poll. Padded so neighbouring
+  /// shards' locks never false-share.
+  struct alignas(64) Shard {
+    std::mutex Lock;
+    std::vector<SharedRegion *> Regions; ///< live shared regions only
+    SharedRegion *FreePool = nullptr;    ///< deleted records for reuse
+    /// Regions.size(), mirrored relaxed for liveSharedRegions().
+    std::atomic<std::size_t> LiveCount{0};
+    /// Lock-free tryDelete refusals served from this shard's regions.
+    std::atomic<std::uint64_t> FastRefusals{0};
+  };
+
   /// Where thread \p Tid's adjustments to \p S accumulate: a private
   /// padded slot when the index fits S's array, the shared detached
   /// counter otherwise.
@@ -177,11 +271,16 @@ private:
     return Tid < S->NumSlots ? S->Local[Tid].Count : S->Detached;
   }
 
-  mutable std::mutex Lock;
-  std::vector<SharedRegion *> Regions; ///< live shared regions only
-  std::vector<unsigned> FreeTids;      ///< recycled thread slots
-  SharedRegion *FreePool = nullptr;    ///< deleted records for reuse
-  unsigned NextThread = 0;             ///< slot high-water mark
+  Shard Shards[kNumShards];
+
+  // Thread-slot issuance: the one global critical section left.
+  std::mutex RegLock;
+  std::vector<unsigned> FreeTids; ///< recycled thread slots
+  /// Slot high-water mark. Written under RegLock, read relaxed by
+  /// share() on any shard to size local-count arrays: a stale (small)
+  /// read only means a just-registered thread folds into Detached for
+  /// that region, which the counting protocol already handles.
+  std::atomic<unsigned> NextThread{0};
 };
 
 /// RAII thread registration: registers on construction, folds the

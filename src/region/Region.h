@@ -454,6 +454,10 @@ RGN_ALWAYS_INLINE void pendingCountAdd(Region *R, long long D) {
 
 /// Drains the calling thread's pending adjustments, making every
 /// region's RC exact. Cheap when the buffer is empty (one TLS load).
+/// Every count inspection must flush first — deleteRegion does, and
+/// so does ParallelSpace::tryDelete *before* its lock-free relaxed
+/// sum, so even the optimistic refusal path never reads a count the
+/// caller's own buffered deltas would change.
 RGN_ALWAYS_INLINE void flushPendingCounts() {
   if (RGN_UNLIKELY(GPendingCounts.Occupied != 0))
     GPendingCounts.flushSlow();

@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Trace.h"
+#include "support/Align.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <vector>
 
 using namespace regions;
 using namespace regions::rstat;
@@ -92,6 +95,12 @@ const char *rstat::eventName(EventKind K) {
     return "pending-flush";
   case EventKind::QuarantineEvict:
     return "quarantine-evict";
+  case EventKind::ShareRegion:
+    return "share";
+  case EventKind::TryDeleteOk:
+    return "trydelete";
+  case EventKind::TryDeleteRefused:
+    return "trydelete-refused";
   }
   return "?";
 }
@@ -182,6 +191,14 @@ std::size_t rstat::writeChromeTrace(std::FILE *Out) {
   std::lock_guard<std::mutex> Guard(Reg.Lock);
   std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", Out);
   std::size_t Written = 0;
+  // Heap-shape counter derivation: the lifecycle events that move the
+  // counters, pulled from every ring and merged into time order below.
+  struct CounterDelta {
+    std::uint64_t TimeNs;
+    std::int64_t Regions;
+    std::int64_t Bytes;
+  };
+  std::vector<CounterDelta> Deltas;
   for (TraceRing *Ring = Reg.Rings; Ring; Ring = Ring->Next) {
     std::size_t Head = Ring->Head.load(std::memory_order_relaxed);
     std::size_t Count = Head < Ring->Capacity ? Head : Ring->Capacity;
@@ -200,7 +217,52 @@ std::size_t rstat::writeChromeTrace(std::FILE *Out) {
                    static_cast<double>(E.TimeNs) / 1000.0, Ring->Tid,
                    static_cast<unsigned long long>(E.A), E.B);
       ++Written;
+      std::int64_t Pages = static_cast<std::int64_t>(E.B);
+      switch (E.Kind) {
+      case EventKind::NewRegion:
+        Deltas.push_back({E.TimeNs, +1, 0});
+        break;
+      case EventKind::DeleteRegionOk:
+        Deltas.push_back({E.TimeNs, -1, 0});
+        break;
+      case EventKind::RunGrab:
+        Deltas.push_back(
+            {E.TimeNs, 0, Pages * static_cast<std::int64_t>(kPageSize)});
+        break;
+      case EventKind::RunFree:
+        Deltas.push_back(
+            {E.TimeNs, 0, -Pages * static_cast<std::int64_t>(kPageSize)});
+        break;
+      default:
+        break;
+      }
     }
+  }
+  // Counter events ("C" phase): one running track per quantity, on a
+  // synthetic tid one past the last ring so per-thread instant-event
+  // timestamp order is undisturbed. Wrapped rings can drop grabs whose
+  // frees survive; clamping at zero keeps the tracks meaningful.
+  std::stable_sort(Deltas.begin(), Deltas.end(),
+                   [](const CounterDelta &A, const CounterDelta &B) {
+                     return A.TimeNs < B.TimeNs;
+                   });
+  std::int64_t LiveRegions = 0, LiveBytes = 0;
+  for (const CounterDelta &D : Deltas) {
+    LiveRegions += D.Regions;
+    LiveBytes += D.Bytes;
+    if (Written)
+      std::fputc(',', Out);
+    const char *Name = D.Regions ? "live-regions" : "live-bytes";
+    const char *Series = D.Regions ? "regions" : "bytes";
+    std::int64_t Value = D.Regions ? LiveRegions : LiveBytes;
+    std::fprintf(Out,
+                 "{\"name\":\"%s\",\"cat\":\"region\",\"ph\":\"C\","
+                 "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                 "\"args\":{\"%s\":%lld}}",
+                 Name, static_cast<double>(D.TimeNs) / 1000.0, Reg.NumRings,
+                 Series,
+                 static_cast<long long>(Value < 0 ? 0 : Value));
+    ++Written;
   }
   std::fputs("]}\n", Out);
   return Written;

@@ -56,9 +56,12 @@ enum class EventKind : std::uint8_t {
   CoalesceSweep,    ///< A = free runs before, B = free runs after
   PendingFlush,     ///< A = buffered entries applied
   QuarantineEvict,  ///< A = first page index, B = run length in pages
+  ShareRegion,      ///< A = region id, B = shard index
+  TryDeleteOk,      ///< A = region id, B = shard index
+  TryDeleteRefused, ///< A = region id, B = 1 lock-free, 0 under lock
 };
 
-inline constexpr unsigned kNumEventKinds = 8;
+inline constexpr unsigned kNumEventKinds = 11;
 
 /// Stable lower-case event names (also the Chrome trace "name" field).
 const char *eventName(EventKind K);
@@ -146,8 +149,13 @@ std::size_t droppedEventCount();
 /// Writes every buffered event as Chrome trace-event JSON ("trace
 /// event format", the Perfetto/chrome://tracing interchange format):
 /// one instant event per record, pid 1, tid = thread attach order,
-/// timestamps in microseconds since the epoch began. Returns the
-/// number of events written. Does not disarm.
+/// timestamps in microseconds since the epoch began. Also derives
+/// counter events ("C" phase, on a synthetic tid one past the last
+/// ring) from the merged time-sorted stream — "live-regions" from
+/// newregion/deleteregion and "live-bytes" from run-grab/run-free —
+/// so heap shape graphs directly as counter tracks in Perfetto.
+/// Returns the number of events written (instants plus counters).
+/// Does not disarm.
 std::size_t writeChromeTrace(std::FILE *Out);
 
 /// writeChromeTrace to a file path; returns events written, or -1 if

@@ -168,4 +168,78 @@ TEST_F(ParallelTest, ThreadsBuildInPrivateRegionsAndShare) {
   EXPECT_EQ(Space.liveSharedRegions(), 0u);
 }
 
+TEST_F(ParallelTest, VisiblyNonZeroCountRefusesLockFree) {
+  // The optimistic fast path: when the relaxed sum is visibly
+  // non-zero, tryDelete must refuse without touching the shard lock.
+  // The per-shard refusal counters are bumped only on the lock-free
+  // paths, so they are the observable proof.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  EXPECT_EQ(Space.lockFreeRefusals(), 0u);
+  Space.addRef(S, Tid);
+  EXPECT_FALSE(Space.tryDelete(S));
+  EXPECT_EQ(Space.lockFreeRefusals(), 1u)
+      << "a pinned region's refusal must be served by the relaxed sum";
+  EXPECT_FALSE(Space.tryDelete(S));
+  EXPECT_EQ(Space.lockFreeRefusals(), 2u);
+  Space.dropRef(S, Tid);
+  EXPECT_TRUE(Space.tryDelete(S));
+  EXPECT_EQ(Space.lockFreeRefusals(), 2u)
+      << "a successful delete takes the locked path, not the counter";
+}
+
+TEST_F(ParallelTest, ManyRegionsAcrossShardsDeleteInAnyOrder) {
+  // Spread enough regions that every shard sees traffic, then delete
+  // in an order unrelated to creation; re-share afterwards so pooled
+  // records get reused with clean state (counts zeroed, Deleted and
+  // Deleting flags reset).
+  RegionManager Mgr{SafetyConfig::unsafeConfig(), std::size_t{64} << 20};
+  constexpr int kRegions = 64;
+  std::vector<SharedRegion *> Shared;
+  bool ShardSeen[kNumShards] = {};
+  for (int I = 0; I != kRegions; ++I) {
+    Region *R = Mgr.newRegion();
+    ShardSeen[ParallelSpace::shardOf(R)] = true;
+    Shared.push_back(Space.share(R));
+  }
+  int ShardsHit = 0;
+  for (bool Seen : ShardSeen)
+    ShardsHit += Seen;
+  EXPECT_GT(ShardsHit, 1) << "64 regions must spread past one shard";
+  EXPECT_EQ(Space.liveSharedRegions(), static_cast<std::size_t>(kRegions));
+  // Delete every third, then the rest back-to-front: exercises the
+  // swap-pop index maintenance in each shard's live table.
+  for (int I = 0; I < kRegions; I += 3) {
+    EXPECT_TRUE(Space.tryDelete(Shared[I])) << "region " << I;
+    Shared[I] = nullptr;
+  }
+  for (int I = kRegions - 1; I >= 0; --I) {
+    if (Shared[I]) {
+      EXPECT_TRUE(Space.tryDelete(Shared[I])) << "region " << I;
+    }
+  }
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+  // Reuse pooled records: fresh shares must behave like new ones.
+  unsigned Tid = Space.registerThread();
+  for (int I = 0; I != kRegions; ++I) {
+    SharedRegion *S = Space.share(Mgr.newRegion());
+    EXPECT_EQ(S->totalCount(), 0) << "pooled record must come back clean";
+    Space.addRef(S, Tid);
+    EXPECT_FALSE(Space.tryDelete(S));
+    Space.dropRef(S, Tid);
+    EXPECT_TRUE(Space.tryDelete(S)) << "pooled Deleting flag must reset";
+  }
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+TEST_F(ParallelTest, DoubleUnregisterDies) {
+  // Releasing a slot twice would let two live threads share one index
+  // (their adjustments would merge); the debug check must catch it.
+  // Asserts stay on in every build type here, so no NDEBUG guard.
+  unsigned Tid = Space.registerThread();
+  Space.unregisterThread(Tid);
+  EXPECT_DEATH(Space.unregisterThread(Tid), "double unregisterThread");
+}
+
 } // namespace

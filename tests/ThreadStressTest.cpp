@@ -184,6 +184,135 @@ TEST(ThreadStressTest, SharedExchangeRacesStayBalanced) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sharded create/delete synchronization
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadStressTest, ShardedDistinctRegionChurn) {
+  // The tentpole workload: every thread cycles its *own* regions
+  // (create → share → publish → unpublish → tryDelete) through one
+  // shared space. Distinct regions hash to (mostly) distinct shards,
+  // so nothing here should serialize; TSan must see no races and
+  // every cycle's delete must succeed first try — each thread only
+  // deletes regions its own manager owns, so the manager-quiescence
+  // contract holds per thread.
+  par::ParallelSpace Space;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&] {
+      RegionManager Mgr{SafetyConfig::unsafeConfig(), std::size_t{64} << 20};
+      par::ThreadSlot Tid(Space);
+      std::atomic<int *> Slot{nullptr};
+      for (int I = 0; I != kRounds; ++I) {
+        par::SharedRegion *S = Space.share(Mgr.newRegion());
+        int *Obj = rnew<int>(S->region(), I);
+        Space.sharedExchange(Slot, Obj, S, nullptr, Tid);
+        if (Space.tryDelete(S)) { // published: must refuse
+          Failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        Space.sharedExchange<int>(Slot, nullptr, nullptr, S, Tid);
+        if (!Space.tryDelete(S)) // unpublished: must accept
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+  EXPECT_GT(Space.lockFreeRefusals(), 0u)
+      << "published-region refusals must be served lock-free";
+}
+
+TEST(ThreadStressTest, ConcurrentTryDeleteRacesDeletingFlag) {
+  // Many threads hammer tryDelete on the *same* pinned region: every
+  // call must refuse (the pin is visible in the relaxed sum), nothing
+  // may free, and the refusals must not take the shard lock. Then the
+  // pin is dropped and the same threads race one tryDelete each
+  // against the Deleting flag: exactly one may win.
+  par::ParallelSpace Space;
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  par::SharedRegion *S = Space.share(Mgr.newRegion());
+  unsigned Pin = Space.registerThread();
+  Space.addRef(S, Pin);
+
+  constexpr int kThreads = 8;
+  constexpr int kAttempts = 500;
+  {
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != kThreads; ++T)
+      Threads.emplace_back([&] {
+        for (int I = 0; I != kAttempts; ++I)
+          if (Space.tryDelete(S))
+            ADD_FAILURE() << "pinned region must never delete";
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  EXPECT_EQ(Space.liveSharedRegions(), 1u);
+  EXPECT_GE(Space.lockFreeRefusals(),
+            static_cast<std::uint64_t>(kThreads) * kAttempts)
+      << "every pinned-region refusal is lock-free";
+
+  // Unpin; the happens-before edge for the counts is the threads'
+  // construction below. Racing deleters arbitrate through the
+  // Deleting CAS: one winner, losers refuse without stampeding.
+  Space.dropRef(S, Pin);
+  std::atomic<int> Wins{0};
+  {
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != kThreads; ++T)
+      Threads.emplace_back([&] {
+        if (Space.tryDelete(S))
+          Wins.fetch_add(1, std::memory_order_relaxed);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  EXPECT_EQ(Wins.load(), 1) << "exactly one racing deleter may win";
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+  Space.unregisterThread(Pin);
+}
+
+TEST(ThreadStressTest, ThreadSlotChurnAcrossShardsKeepsSumsExact) {
+  // Register/unregister churn (whose banking walk now locks one shard
+  // at a time) racing against ref traffic on regions spread over many
+  // shards. After the joins every region's sum must be exactly zero —
+  // banking must not lose or double-count a balance whichever shard
+  // the region landed on.
+  par::ParallelSpace Space;
+  RegionManager Mgr{SafetyConfig::unsafeConfig(), std::size_t{64} << 20};
+  constexpr int kRegions = 16;
+  par::SharedRegion *Shared[kRegions];
+  for (int R = 0; R != kRegions; ++R)
+    Shared[R] = Space.share(Mgr.newRegion());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != kRounds; ++I) {
+        par::ThreadSlot Slot(Space); // unregister banks across shards
+        par::SharedRegion *S = Shared[(T + I) % kRegions];
+        Space.addRef(S, Slot);
+        Space.addRef(S, Slot);
+        Space.dropRef(S, Slot);
+        Space.dropRef(S, Slot);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int R = 0; R != kRegions; ++R) {
+    EXPECT_EQ(Shared[R]->totalCount(), 0) << "region " << R;
+    EXPECT_TRUE(Space.tryDelete(Shared[R])) << "region " << R;
+  }
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Armed tracing under churn
 //===----------------------------------------------------------------------===//
 
