@@ -61,13 +61,13 @@ void setUpShared(benchmark::State &State) {
 
 void tearDownShared(benchmark::State &State) {
   // Clear every slot (dropping whatever reference it still holds) from
-  // this thread — only the summed count matters — then delete.
+  // this thread — only the summed count matters — then delete. The
+  // resolving exchange classifies each displaced value itself.
   ThreadSlot Tid(GState.Space);
   for (auto &Slot : GState.Slots)
-    GState.Space.sharedExchange<int>(Slot.Ptr, nullptr, nullptr, GState.S,
-                                     Tid);
+    GState.Space.sharedExchange<int>(Slot.Ptr, nullptr, nullptr, Tid);
   GState.Space.sharedExchange<int>(GState.ContendedSlot, nullptr, nullptr,
-                                   GState.S, Tid);
+                                   Tid);
   if (!GState.Space.tryDelete(GState.S))
     State.SkipWithError("shared region still referenced at teardown");
   GState.S = nullptr;
@@ -77,6 +77,10 @@ void tearDownShared(benchmark::State &State) {
 /// The paper's shared-slot write on an uncontended (per-thread) slot:
 /// one atomic exchange plus two uncounted local-count bumps. This is
 /// the parallel fast path — no locks, no cross-thread communication.
+/// Hinted form: the benchmark slots are single-region by construction,
+/// so the caller may legally name the displaced value's region and
+/// skip the page-map resolve (BM_SharedExchangeResolved measures that
+/// resolve; their difference is the cost of not trusting the caller).
 void BM_SharedExchange(benchmark::State &State) {
   if (State.thread_index() == 0)
     setUpShared(State);
@@ -95,6 +99,37 @@ void BM_SharedExchange(benchmark::State &State) {
     tearDownShared(State);
 }
 BENCHMARK(BM_SharedExchange)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+
+/// The resolving shared-slot write: identical traffic to
+/// BM_SharedExchange, but the displaced value's region is found after
+/// the exchange — page-map probe (one bounds test + map load on the
+/// hot-arena hit) plus the Region → SharedRegion binding walk and its
+/// generation check — instead of being named by the caller. This is
+/// the form that stays correct under cross-region races; the delta
+/// against BM_SharedExchange is the price of that correctness, and
+/// check_regression tracks it in BENCH_parallel.json.
+void BM_SharedExchangeResolved(benchmark::State &State) {
+  if (State.thread_index() == 0)
+    setUpShared(State);
+  ThreadSlot Tid(GState.Space);
+  for (auto _ : State) {
+    SharedRegion *S = GState.S;
+    int *Obj = GState.Obj[State.thread_index()];
+    auto &Slot = GState.Slots[State.thread_index()].Ptr;
+    for (int I = 0; I != kBatch; ++I) {
+      int *New = (I & 1) ? Obj : nullptr;
+      GState.Space.sharedExchange(Slot, New, New ? S : nullptr, Tid);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * kBatch);
+  if (State.thread_index() == 0)
+    tearDownShared(State);
+}
+BENCHMARK(BM_SharedExchangeResolved)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8);
 
 /// Every thread hammers the same slot: the exchange itself serializes
 /// on the cache line, but the count adjustments stay thread-local, so

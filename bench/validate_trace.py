@@ -28,6 +28,9 @@ EVENT_NAMES = {
     "share",
     "trydelete",
     "trydelete-refused",
+    "resolve-stale",
+    "quiesce",
+    "trydelete-handoff",
 }
 
 # Derived heap-shape counter tracks ("C" phase events): name -> the

@@ -8,9 +8,12 @@
 // A shared region is deletable exactly when the counts sum to zero.
 //
 // The scenario: a producer/consumer pipeline. Producers build result
-// records in their own regions and publish them to a shared mailbox
-// array; the consumer drains mailboxes and retires each producer's
-// region once its results are consumed.
+// records in their own regions, publish them to a shared mailbox
+// array, and quiesce their managers into the space when done; the
+// consumer — which never touched those managers — drains mailboxes
+// with resolving exchanges (each displaced pointer finds its own
+// region's count through the page map) and retires each producer's
+// region itself via the cross-thread deletion hand-off.
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,11 +71,17 @@ int main() {
         Rec->Sequence = I;
         Rec->Payload = static_cast<long>(P) * 1000 + I * I;
         // Publish with an atomic exchange; the local count adjustment
-        // needs no synchronization (paper's key point).
+        // needs no synchronization (paper's key point). The producer
+        // names only the region of the value it installs — whatever a
+        // racing writer left in the mailbox resolves itself.
         Space.sharedExchange(Mailbox[P * kResultsPerProducer + I], Rec, S,
-                             S, Tid);
+                             Tid);
         ++Published;
       }
+      // Done for good with this manager: hand deletion rights to the
+      // space, so ANY thread's tryDelete may retire R once the counts
+      // drain — the consumer need not hand the record back.
+      Space.quiesce(Mgr);
     });
   }
   for (auto &T : Producers)
@@ -84,16 +93,28 @@ int main() {
     std::printf("  producer %d shared-region count: %lld\n", P,
                 static_cast<long long>(Shared[P]->totalCount()));
 
-  // Consumer: drain the mailboxes, then retire each producer's region.
+  std::printf("all producer managers quiesced into the space: %s\n",
+              [&] {
+                for (int P = 0; P != kProducers; ++P)
+                  if (!Space.managerQuiesced(*Managers[P]))
+                    return "no (bug!)";
+                return "yes";
+              }());
+
+  // Consumer: drain the mailboxes, then retire each producer's region
+  // itself — legitimate because the owners quiesced their managers.
   unsigned ConsumerTid = Space.registerThread();
   long Checksum = 0;
   for (int P = 0; P != kProducers; ++P) {
     std::printf("consumer draining producer %d: deletable now? %s\n", P,
                 Space.tryDelete(Shared[P]) ? "yes (bug!)" : "no");
     for (int I = 0; I != kResultsPerProducer; ++I) {
+      // Resolving exchange: the drained record is mapped back to its
+      // producer's region by the page map + share()'s binding, not by
+      // anything the consumer claims to know about the mailbox.
       Result *Rec = Space.sharedExchange<Result>(
           Mailbox[P * kResultsPerProducer + I], nullptr, nullptr,
-          Shared[P], ConsumerTid);
+          ConsumerTid);
       Checksum += Rec->Payload;
     }
     // The consumer's local count went negative by kResultsPerProducer;
@@ -102,7 +123,7 @@ int main() {
     std::printf("  after draining: sum=%lld, delete: %s\n",
                 static_cast<long long>(
                     Deleted ? 0 : Shared[P]->totalCount()),
-                Deleted ? "ok" : "REFUSED (bug!)");
+                Deleted ? "ok (cross-thread hand-off)" : "REFUSED (bug!)");
   }
 
   std::printf("\nchecksum of consumed payloads: %ld\n", Checksum);

@@ -14,35 +14,61 @@ namespace regions {
 namespace detail {
 
 ArenaInfo GArenas[kMaxArenas];
-unsigned GNumArenas = 0;
+std::atomic<unsigned> GNumArenas{0};
 std::atomic<const ArenaInfo *> GHotArena{GArenas};
+std::atomic<std::uint64_t> GArenaSeq{0};
 
 namespace {
-/// Guards registry mutation; regionOf reads without the lock, which is
-/// safe because managers are created/destroyed at thread quiescence
-/// points (construction happens-before any allocation they serve).
+/// Guards registry mutation; lookups read without the lock. The
+/// allocator/barrier paths (regionOf) rely on the quiescence contract —
+/// an arena they probe outlives the probe — while the cross-thread
+/// resolve path (regionOfStable) may race an unrelated manager's death
+/// and revalidates against GArenaSeq instead.
 std::mutex GArenaLock;
+
+/// Marks a registry mutation window for seqlock readers: odd while the
+/// table is inconsistent. Caller holds GArenaLock.
+struct MutationScope {
+  MutationScope() { GArenaSeq.fetch_add(1, std::memory_order_acq_rel); }
+  ~MutationScope() { GArenaSeq.fetch_add(1, std::memory_order_release); }
+};
 } // namespace
 
 void registerArena(const void *Base, std::size_t NumPages,
                    Region *const *Map) {
   std::lock_guard<std::mutex> Guard(GArenaLock);
-  if (GNumArenas == kMaxArenas)
+  unsigned N = GNumArenas.load(std::memory_order_relaxed);
+  if (N == kMaxArenas)
     reportFatalError("too many live RegionManagers (arena registry full)");
+  MutationScope Mutating;
   auto Addr = reinterpret_cast<std::uintptr_t>(Base);
-  GArenas[GNumArenas++] = {Addr, NumPages * kPageSize, Map};
+  GArenas[N].Base.store(Addr, std::memory_order_relaxed);
+  GArenas[N].Size.store(NumPages * kPageSize, std::memory_order_relaxed);
+  GArenas[N].Map.store(Map, std::memory_order_relaxed);
+  GNumArenas.store(N + 1, std::memory_order_relaxed);
 }
 
 void unregisterArena(const void *Base) {
   std::lock_guard<std::mutex> Guard(GArenaLock);
   auto Addr = reinterpret_cast<std::uintptr_t>(Base);
-  for (unsigned I = 0; I != GNumArenas; ++I) {
-    if (GArenas[I].Base != Addr)
+  unsigned N = GNumArenas.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I != N; ++I) {
+    if (GArenas[I].Base.load(std::memory_order_relaxed) != Addr)
       continue;
-    GArenas[I] = GArenas[--GNumArenas];
+    MutationScope Mutating;
+    ArenaInfo &Last = GArenas[N - 1];
+    GArenas[I].Base.store(Last.Base.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    GArenas[I].Size.store(Last.Size.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    GArenas[I].Map.store(Last.Map.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
     // Clear the vacated slot so a stale hot-arena pointer can never
     // match an address against the dead (possibly unmapped) arena.
-    GArenas[GNumArenas] = {0, 0, nullptr};
+    Last.Base.store(0, std::memory_order_relaxed);
+    Last.Size.store(0, std::memory_order_relaxed);
+    Last.Map.store(nullptr, std::memory_order_relaxed);
+    GNumArenas.store(N - 1, std::memory_order_relaxed);
     GHotArena.store(GArenas, std::memory_order_relaxed);
     return;
   }
@@ -50,12 +76,27 @@ void unregisterArena(const void *Base) {
 }
 
 Region *regionOfSlow(std::uintptr_t Addr) {
-  for (unsigned I = 0, E = GNumArenas; I != E; ++I) {
+  unsigned E = GNumArenas.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I != E; ++I) {
     const ArenaInfo &A = GArenas[I];
-    if (Addr - A.Base < A.Size) {
+    std::uintptr_t Base = A.Base.load(std::memory_order_relaxed);
+    if (Addr - Base < A.Size.load(std::memory_order_relaxed)) {
       GHotArena.store(&A, std::memory_order_relaxed);
-      return A.Map[(Addr - A.Base) >> kPageShift];
+      return A.Map.load(std::memory_order_relaxed)[(Addr - Base) >>
+                                                   kPageShift];
     }
+  }
+  return nullptr;
+}
+
+Region *regionOfSlowNoCache(std::uintptr_t Addr) {
+  unsigned E = GNumArenas.load(std::memory_order_relaxed);
+  for (unsigned I = 0; I != E; ++I) {
+    const ArenaInfo &A = GArenas[I];
+    std::uintptr_t Base = A.Base.load(std::memory_order_relaxed);
+    if (Addr - Base < A.Size.load(std::memory_order_relaxed))
+      return A.Map.load(std::memory_order_relaxed)[(Addr - Base) >>
+                                                   kPageShift];
   }
   return nullptr;
 }

@@ -26,6 +26,7 @@
 #define REGION_PAGEMAP_H
 
 #include "support/Align.h"
+#include "support/Compiler.h"
 
 #include <atomic>
 #include <cstdint>
@@ -38,17 +39,30 @@ namespace detail {
 
 /// One registered arena: [Base, Base + Size) plus its page-to-region
 /// map. Size is stored precomputed so the lookup fast path is a single
-/// subtraction and compare per address.
+/// subtraction and compare per address. The fields are relaxed atomics
+/// — identical codegen to plain words on the lookup paths — because
+/// unregisterArena compacts the registry in place while lock-free
+/// readers may be scanning it; logical consistency across the three
+/// words comes from GArenaSeq below, not from the per-field atomicity.
 struct ArenaInfo {
-  std::uintptr_t Base;
-  std::uintptr_t Size;
-  Region *const *Map;
+  std::atomic<std::uintptr_t> Base;
+  std::atomic<std::uintptr_t> Size;
+  std::atomic<Region *const *> Map;
 };
 
 inline constexpr unsigned kMaxArenas = 32;
 
 extern ArenaInfo GArenas[kMaxArenas];
-extern unsigned GNumArenas;
+extern std::atomic<unsigned> GNumArenas;
+
+/// Registry generation, seqlock style: odd while registerArena /
+/// unregisterArena mutate the table, even when it is stable, bumped on
+/// both sides of every mutation. Readers that may legitimately race a
+/// manager's death (the parallel resolving exchange — see
+/// regionOfStable) snapshot it, scan, and retry if it moved; the
+/// allocator and write-barrier paths skip the validation entirely
+/// because their probed arenas outlive the probe by contract.
+extern std::atomic<std::uint64_t> GArenaSeq;
 
 /// The most recently hit arena entry; regionOf's fast path probes it
 /// before falling back to the full registry scan. Points at GArenas[0]
@@ -69,6 +83,10 @@ void unregisterArena(const void *Base);
 /// Full registry scan for addresses missing the hot-arena cache;
 /// refreshes the cache on a hit.
 Region *regionOfSlow(std::uintptr_t Addr);
+
+/// Registry scan that does NOT refresh the hot-arena cache. Backs
+/// regionOfStable() below.
+Region *regionOfSlowNoCache(std::uintptr_t Addr);
 
 /// rsan checked dereference (RGN_HARDEN; see support/Harden.h): fatal
 /// unless \p Ptr still resolves to \p Expected in the page map, i.e.
@@ -93,9 +111,9 @@ class ArenaProbe {
 public:
   ArenaProbe() {
     const ArenaInfo *Hot = GHotArena.load(std::memory_order_relaxed);
-    Base = Hot->Base;
-    Size = Hot->Size;
-    Map = Hot->Map;
+    Base = Hot->Base.load(std::memory_order_relaxed);
+    Size = Hot->Size.load(std::memory_order_relaxed);
+    Map = Hot->Map.load(std::memory_order_relaxed);
   }
 
   Region *lookup(const void *Ptr) const {
@@ -139,9 +157,53 @@ inline Region *regionOf(const void *Ptr) {
   auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
   const detail::ArenaInfo *Hot =
       detail::GHotArena.load(std::memory_order_relaxed);
-  if (Addr - Hot->Base < Hot->Size)
-    return Hot->Map[(Addr - Hot->Base) >> kPageShift];
+  std::uintptr_t Base = Hot->Base.load(std::memory_order_relaxed);
+  if (Addr - Base < Hot->Size.load(std::memory_order_relaxed))
+    return Hot->Map.load(std::memory_order_relaxed)[(Addr - Base) >>
+                                                    kPageShift];
   return detail::regionOfSlow(Addr);
+}
+
+/// regionOf for cross-arena probes: same answer, but a miss of the
+/// hot-arena cache scans the registry *without* refreshing the cache.
+/// The parallel resolving exchange (Parallel.h) classifies pointers it
+/// displaced from a shared slot, which in pipeline workloads belong to
+/// *other* threads' arenas; letting those probes steal the hot-arena
+/// entry would evict the arena the calling thread's own allocator and
+/// write-barrier fast paths are working from, trading one thread's
+/// resolve miss for many barrier misses. Use regionOf() everywhere the
+/// probed address correlates with the caller's next ones.
+///
+/// Unlike regionOf(), this path is seqlock-validated against GArenaSeq:
+/// a resolve probe classifies a pointer another thread displaced, and
+/// may run exactly while an unrelated manager dies and unregisterArena
+/// compacts the registry under it. (The displaced reference's own
+/// arena cannot die — the undropped count keeps its region's sum
+/// positive — but the registry slot it sits in can move.) The barrier
+/// and allocator paths keep the unvalidated fast path: their probed
+/// arenas outlive the probe by the quiescence contract, and the
+/// validation would tax every store.
+inline Region *regionOfStable(const void *Ptr) {
+  auto Addr = reinterpret_cast<std::uintptr_t>(Ptr);
+  for (;;) {
+    std::uint64_t Seq = detail::GArenaSeq.load(std::memory_order_acquire);
+    if (RGN_UNLIKELY(Seq & 1))
+      continue; // mutation in flight; reread
+    const detail::ArenaInfo *Hot =
+        detail::GHotArena.load(std::memory_order_relaxed);
+    Region *R;
+    std::uintptr_t Base = Hot->Base.load(std::memory_order_relaxed);
+    if (Addr - Base < Hot->Size.load(std::memory_order_relaxed))
+      R = Hot->Map.load(std::memory_order_relaxed)[(Addr - Base) >>
+                                                   kPageShift];
+    else
+      R = detail::regionOfSlowNoCache(Addr);
+    // Order the scan's loads before the revalidation load.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (RGN_LIKELY(detail::GArenaSeq.load(std::memory_order_relaxed) ==
+                   Seq))
+      return R;
+  }
 }
 
 } // namespace regions

@@ -17,13 +17,44 @@ using namespace regions::par;
 ParallelSpace::~ParallelSpace() {
   for (Shard &Sh : Shards) {
     std::lock_guard<std::mutex> Guard(Sh.Lock);
-    for (SharedRegion *S : Sh.Regions)
+    for (SharedRegion *S : Sh.Regions) {
+      // The region outlives its record here; drop the binding so no
+      // later (buggy) resolve walks into freed record storage.
+      if (S->R)
+        S->R->clearSharedBinding();
       delete S;
+    }
     while (SharedRegion *S = Sh.FreePool) {
       Sh.FreePool = S->NextFree;
       delete S;
     }
+    while (SharedRegion *S = Sh.Retired) {
+      Sh.Retired = S->NextFree;
+      delete S;
+    }
   }
+  QuiescedManager *Q = QuiescedHead.load(std::memory_order_relaxed);
+  while (Q) {
+    QuiescedManager *Next = Q->Next;
+    delete Q;
+    Q = Next;
+  }
+}
+
+SharedRegion *par::resolveSharedStale(const Region *R, const SharedRegion *S,
+                                      std::uint64_t Gen) {
+  (void)S;
+  rstat::traceEvent(rstat::EventKind::ResolveStale, R->id(),
+                    static_cast<std::uint32_t>(Gen));
+  if constexpr (detail::kRsanEnabled)
+    reportFatalError(
+        "rsan: stale shared-region resolve: the displaced value's region "
+        "binding was torn by a concurrent retire/rebind (a reference was "
+        "still in flight when its region's record was retired)");
+  // Conservative: treat the value as not-shared and drop no count. That
+  // can at worst leave a sum high (a deletion delayed), never adjust a
+  // record that no longer serves this region.
+  return nullptr;
 }
 
 unsigned ParallelSpace::registerThread() {
@@ -108,6 +139,15 @@ SharedRegion *ParallelSpace::share(Region *R) {
   }
   S->R = R;
   S->RegionId = R->id();
+  // Publish the Region → record binding resolving exchanges walk. The
+  // generation moves odd (bound); a resolver that reads this binding
+  // together with this stamp knows the record still serves R. The
+  // release store in bindShared orders the whole record setup above
+  // before the binding becomes visible.
+  assert(!R->sharedBinding() && "share: region is already shared");
+  std::uint64_t Gen = S->Gen.fetch_add(1, std::memory_order_relaxed) + 1;
+  assert(Gen % 2 == 1 && "bound records carry odd generations");
+  R->bindShared(S, Gen);
   S->Index = Sh.Regions.size();
   Sh.Regions.push_back(S);
   Sh.LiveCount.store(Sh.Regions.size(), std::memory_order_relaxed);
@@ -157,22 +197,110 @@ bool ParallelSpace::tryDelete(SharedRegion *S) {
   // and the owning manager has the last word (counted references from
   // its own heap, live stack locals). A refusal leaves the record live
   // so a later attempt can succeed.
-  if (S->totalCount() != 0 || !S->R->manager().deleteRegionRaw(S->R)) {
+  if (S->totalCount() != 0) {
     S->Deleting.store(false, std::memory_order_release);
     rstat::traceEvent(rstat::EventKind::TryDeleteRefused, S->RegionId,
                       /*LockFree=*/0);
     return false;
   }
+  // The sum is authoritatively zero: no displaced-but-undropped
+  // reference exists (it would carry a +1 somewhere), so no resolver
+  // can legitimately be mid-walk through R's binding. Retire the
+  // binding *before* the destructive step — deleteRegionRaw recycles
+  // R's pages, and the binding must never be readable from recycled
+  // memory — and restore it on a manager veto, under this same shard
+  // lock, so the region's shared identity survives a refusal.
+  Region *R = S->R;
+  RegionManager &Mgr = R->manager();
+  std::uint64_t BindGen = R->sharedBindingGen();
+  R->clearSharedBinding();
+  bool Destroyed;
+  if (QuiescedManager *Q = findQuiesced(&Mgr)) {
+    // Cross-thread hand-off: the owner declared the manager
+    // permanently quiescent, so any thread may run the destructive
+    // step — but managers are not thread-safe, so concurrent deleters
+    // of this manager's regions (possibly on other shards) serialize
+    // on its hand-off lock.
+    std::lock_guard<std::mutex> Handoff(Q->Lock);
+    Destroyed = Mgr.deleteRegionRaw(S->R);
+    if (Destroyed)
+      rstat::traceEvent(rstat::EventKind::TryDeleteHandoff, S->RegionId,
+                        static_cast<std::uint32_t>(&Sh - Shards));
+  } else {
+    Destroyed = Mgr.deleteRegionRaw(S->R);
+  }
+  if (!Destroyed) {
+    R->bindShared(S, BindGen);
+    S->Deleting.store(false, std::memory_order_release);
+    rstat::traceEvent(rstat::EventKind::TryDeleteRefused, S->RegionId,
+                      /*LockFree=*/0);
+    return false;
+  }
+  // Retire the record: the generation moves even, so any (record,
+  // generation) pair a racing resolver tore off a stale region binding
+  // fails its check instead of naming this record.
+  S->Gen.fetch_add(1, std::memory_order_relaxed);
   S->Deleted.store(true, std::memory_order_release);
-  // Swap-pop out of the shard's live list and pool the record.
+  // Swap-pop out of the shard's live list and pool the record. Under
+  // RGN_HARDEN the record is parked on the retired list instead and
+  // never reused: a stale handle then always finds Deleted set (see
+  // rsanCheckLive) rather than the record's next occupant.
   SharedRegion *Back = Sh.Regions.back();
   Sh.Regions[S->Index] = Back;
   Back->Index = S->Index;
   Sh.Regions.pop_back();
   Sh.LiveCount.store(Sh.Regions.size(), std::memory_order_relaxed);
-  S->NextFree = Sh.FreePool;
-  Sh.FreePool = S;
+  if constexpr (detail::kRsanEnabled) {
+    S->NextFree = Sh.Retired;
+    Sh.Retired = S;
+  } else {
+    S->NextFree = Sh.FreePool;
+    Sh.FreePool = S;
+  }
   rstat::traceEvent(rstat::EventKind::TryDeleteOk, S->RegionId,
                     static_cast<std::uint32_t>(&Sh - Shards));
   return true;
+}
+
+void ParallelSpace::quiesce(RegionManager &Mgr) {
+  // The owner's buffered barrier adjustments are part of what it hands
+  // off: land them while this is still unambiguously the owning thread.
+  detail::flushPendingCounts();
+  auto *Entry = new QuiescedManager;
+  Entry->Mgr = &Mgr;
+  std::lock_guard<std::mutex> Guard(QuiesceLock);
+  QuiescedManager *Head = QuiescedHead.load(std::memory_order_relaxed);
+  for (QuiescedManager *Q = Head; Q; Q = Q->Next)
+    assert(Q->Mgr != &Mgr && "quiesce: manager already quiesced");
+  (void)Head;
+  Entry->Next = Head;
+  // Release so a deleter whose lock-free head probe sees the entry
+  // also sees its fields (list traversal does not retake the lock's
+  // ordering on the probe-only path).
+  QuiescedHead.store(Entry, std::memory_order_release);
+  // Releasing QuiesceLock publishes everything the owner did with Mgr
+  // to any deleter that later finds the entry under the same lock.
+  rstat::traceEvent(rstat::EventKind::ManagerQuiesced,
+                    Mgr.liveRegionCount());
+}
+
+bool ParallelSpace::managerQuiesced(const RegionManager &Mgr) const {
+  return findQuiesced(&Mgr) != nullptr;
+}
+
+ParallelSpace::QuiescedManager *
+ParallelSpace::findQuiesced(const RegionManager *Mgr) const {
+  // Fast path: a space where nothing ever quiesced pays one relaxed
+  // load here, not a mutex round-trip per successful tryDelete. A
+  // deleter entitled to find Mgr's entry synchronized with the owner's
+  // quiesce() by other means (thread join, message), so its probe
+  // cannot miss the entry.
+  if (!QuiescedHead.load(std::memory_order_acquire))
+    return nullptr;
+  std::lock_guard<std::mutex> Guard(QuiesceLock);
+  for (QuiescedManager *Q = QuiescedHead.load(std::memory_order_relaxed);
+       Q; Q = Q->Next)
+    if (Q->Mgr == Mgr)
+      return Q;
+  return nullptr;
 }

@@ -57,6 +57,28 @@
 /// pooled per shard: tryDelete returns the record to its shard's free
 /// list and the shard's next share() reuses it.
 ///
+/// The shared-slot write is *self-resolving*: the paper requires the
+/// atomic exchange precisely so the process knows which reference was
+/// overwritten, and under cross-region races only the exchange's
+/// return value knows — any region the caller guessed *before* the
+/// exchange can be wrong the moment another thread stores a pointer
+/// into a different region through the same slot. sharedExchange()
+/// therefore maps the displaced pointer back to its record after the
+/// exchange: page map first (regionOf names the region), then the
+/// Region → SharedRegion binding share() published (names the record),
+/// generation-checked so a record retired and rebound mid-resolve is
+/// never mistaken for the old occupant. A hinted overload keeps the
+/// resolve off the fast path for slots the caller genuinely knows
+/// (single-region mailboxes); RGN_HARDEN verifies the hint against the
+/// resolution and aborts on a mismatch.
+///
+/// Deletion normally ends on the owning thread — managers are not
+/// thread-safe, so the authoritative recheck's deleteRegionRaw must
+/// not race the owner. quiesce(manager) relaxes that: an owner that is
+/// permanently done with its manager registers it with the space, and
+/// from then on tryDelete may retire that manager's regions from any
+/// thread, serializing deleters through a per-manager hand-off lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REGION_PARALLEL_H
@@ -64,6 +86,8 @@
 
 #include "region/PageMap.h"
 #include "region/Region.h"
+#include "support/Compiler.h"
+#include "support/Harden.h"
 
 #include <atomic>
 #include <cstdint>
@@ -109,6 +133,17 @@ public:
     return Sum;
   }
 
+  /// Occupancy stamp: odd while the record serves a region, even while
+  /// retired/pooled. share() bumps it when (re)binding the record to a
+  /// region and copies the new value into the region's binding;
+  /// tryDelete bumps it again at retirement. A resolver that read a
+  /// region's (record, generation) pair compares against this — equal
+  /// means the record still serves that region, unequal means the pair
+  /// was torn by a concurrent retire/rebind and must not be used.
+  std::uint64_t generation() const {
+    return Gen.load(std::memory_order_relaxed);
+  }
+
 private:
   friend class ParallelSpace;
 
@@ -139,7 +174,52 @@ private:
   /// the shard lock. Left set by a successful delete (the record is
   /// pooled with it) and cleared on refusal or reuse.
   std::atomic<bool> Deleting{false};
+  /// Occupancy stamp; see generation().
+  std::atomic<std::uint64_t> Gen{0};
 };
+
+/// Out-of-line cold tail of resolveSharedRegion(): the (record,
+/// generation) pair read through \p R's binding was torn by a
+/// concurrent retire/rebind. Traces a resolve-stale event and treats
+/// the pointer as not-shared (drops no count — conservative: can delay
+/// a deletion, never corrupts another region's sum). Under RGN_HARDEN
+/// a torn pair is impossible in a correct program (the displaced
+/// reference itself keeps the sum non-zero, which blocks retirement),
+/// so it is diagnosed fatally instead.
+SharedRegion *resolveSharedStale(const Region *R, const SharedRegion *S,
+                                 std::uint64_t Gen);
+
+/// Maps a pointer displaced from a shared slot to the SharedRegion
+/// record holding its counts, or nullptr when the pointer is not in a
+/// currently-shared region (null, stack/global/malloc memory, a
+/// private region, or a region this space never saw). Page-map first:
+/// regionOfStable() names the region without disturbing the caller's
+/// hot-arena cache, the region's binding — published by share(),
+/// retired by tryDelete() — names the record, and the generation stamp
+/// proves the record still serves *this* region rather than having
+/// been pooled and rebound between the two loads.
+///
+/// Liveness: while the displaced reference is still undropped, the sum
+/// of the region's local counts is at least one (whoever installed the
+/// reference added it), so tryDelete refuses and both the Region
+/// metadata and the binding stay readable for the resolve window. This
+/// is the same argument that makes the counting protocol sound; a
+/// program that reaches a resolve with a reference the counts never
+/// saw was already broken before the resolve.
+inline SharedRegion *resolveSharedRegion(const void *Ptr) {
+  if (!Ptr)
+    return nullptr;
+  Region *R = regionOfStable(Ptr);
+  if (!R)
+    return nullptr;
+  SharedRegion *S = R->sharedBinding();
+  if (!S)
+    return nullptr;
+  std::uint64_t Gen = R->sharedBindingGen();
+  if (RGN_UNLIKELY(S->generation() != Gen))
+    return resolveSharedStale(R, S, Gen);
+  return S;
+}
 
 /// Coordinates shared regions between threads (the paper's global
 /// synchronization point for creation and deletion, sharded so
@@ -172,26 +252,61 @@ public:
   /// Creation synchronizes on the region's shard lock only (paper's
   /// requirement, narrowed). The creating handle is not counted: like
   /// deleteregion's *x, the creator transfers its reference into the
-  /// space. The returned record is owned by the space and may be
-  /// pooled for reuse after a successful tryDelete — holding a
-  /// SharedRegion* past that point is a use-after-free in spirit even
-  /// though the storage stays valid.
+  /// space. Publishes the Region → record binding (with a fresh
+  /// generation stamp) that resolveSharedRegion() walks, so from the
+  /// moment share() returns, resolving exchanges classify pointers
+  /// into \p R without the caller's help. The returned record is owned
+  /// by the space and may be pooled for reuse after a successful
+  /// tryDelete (under RGN_HARDEN it is instead retired for good, so
+  /// stale handles stay detectable) — holding a SharedRegion* past
+  /// that point is a use-after-free in spirit even though the storage
+  /// stays valid.
   SharedRegion *share(Region *R);
 
   /// Adjusts the calling thread's local count for \p S — no
   /// synchronization, no communication (paper's fast path).
   void addRef(SharedRegion *S, unsigned Tid) {
+    rsanCheckLive(S);
     countSlot(S, Tid).fetch_add(1, std::memory_order_relaxed);
   }
   void dropRef(SharedRegion *S, unsigned Tid) {
+    rsanCheckLive(S);
     countSlot(S, Tid).fetch_sub(1, std::memory_order_relaxed);
   }
 
-  /// The paper's shared-slot write: atomically exchanges \p Slot to
-  /// \p NewVal and adjusts only the calling thread's local counts for
-  /// the regions the old and new values point into. \p NewShared /
-  /// \p OldOf map a pointer to its SharedRegion (null for non-shared
-  /// memory). Returns the previous value.
+  /// The paper's shared-slot write, resolving form: atomically
+  /// exchanges \p Slot to \p NewVal and adjusts only the calling
+  /// thread's local counts — an addRef on \p NewShared (the record of
+  /// the region \p NewVal points into; null installs an uncounted /
+  /// non-region value), and a dropRef on whichever record the
+  /// *displaced* value resolves to through the page map and the
+  /// share()-published binding (resolveSharedRegion()). The caller
+  /// names the region of the value it installs — it owns that value,
+  /// no race can change where it points — but never the region of the
+  /// value it displaces: under cross-region races only the exchange's
+  /// return value knows that, which is exactly why the paper demands
+  /// the write be an atomic exchange. Returns the previous value.
+  template <class T>
+  T *sharedExchange(std::atomic<T *> &Slot, T *NewVal,
+                    SharedRegion *NewShared, unsigned Tid) {
+    if (NewShared)
+      addRef(NewShared, Tid);
+    T *Old = Slot.exchange(NewVal, std::memory_order_acq_rel);
+    if (SharedRegion *OldShared = resolveSharedRegion(Old))
+      dropRef(OldShared, Tid);
+    return Old;
+  }
+
+  /// Hinted fast path: as above, but the caller asserts that any value
+  /// this exchange can displace belongs to \p OldShared's region (or
+  /// is null / non-shared when \p OldShared is null), so the drop
+  /// skips the page-map resolve. Only sound when every writer of
+  /// \p Slot installs values from that one region — a single-region
+  /// mailbox drained and refilled from the same shared region. When
+  /// several regions' values can race through the slot, the hint is a
+  /// pre-exchange guess about a post-exchange fact: use the resolving
+  /// overload. RGN_HARDEN re-resolves the displaced value and aborts
+  /// when the hint disagrees.
   template <class T>
   T *sharedExchange(std::atomic<T *> &Slot, T *NewVal,
                     SharedRegion *NewShared, SharedRegion *OldShared,
@@ -199,8 +314,13 @@ public:
     if (NewShared)
       addRef(NewShared, Tid);
     T *Old = Slot.exchange(NewVal, std::memory_order_acq_rel);
-    // The exchange makes the count adjustment safe under races: the
-    // value we displaced is exactly the reference we drop.
+    if constexpr (detail::kRsanEnabled) {
+      if (Old && resolveSharedRegion(Old) != OldShared)
+        reportFatalError(
+            "rsan: sharedExchange hint names the wrong region for the "
+            "displaced value (cross-region race through a hinted slot — "
+            "use the resolving overload)");
+    }
     if (OldShared && Old)
       dropRef(OldShared, Tid);
     return Old;
@@ -215,8 +335,26 @@ public:
   /// recheck, where the owning manager agrees no other counted or
   /// stack reference survives before the region is destroyed. On
   /// failure nothing changes and a later attempt may succeed. The
-  /// caller must guarantee the owning manager is quiescent.
+  /// caller must guarantee the owning manager is quiescent: either the
+  /// calling thread owns it, or it was handed off via quiesce() — in
+  /// which case the destructive step runs under that manager's
+  /// hand-off lock so concurrent non-owner deleters never race inside
+  /// the (thread-unsafe) manager.
   bool tryDelete(SharedRegion *S);
+
+  /// Declares \p Mgr permanently quiescent: the owning thread promises
+  /// to make no further use of it — no allocation, no region creation,
+  /// no direct deletion — for the rest of the space's lifetime. Must
+  /// be called by the owning thread (it is the promise); it flushes
+  /// the caller's buffered count adjustments so everything the owner
+  /// did is visible to whichever thread later deletes. From then on
+  /// any thread's tryDelete may retire \p Mgr's shared regions: the
+  /// ROADMAP cross-thread deletion hand-off. The manager must outlive
+  /// the space or its last shared region, whichever dies first.
+  void quiesce(RegionManager &Mgr);
+
+  /// Whether \p Mgr has been quiesced into this space (diagnostics).
+  bool managerQuiesced(const RegionManager &Mgr) const;
 
   /// Number of shared regions not yet deleted (diagnostics). Lock-free:
   /// a relaxed sum of the per-shard size counters — exact whenever the
@@ -257,11 +395,48 @@ private:
     std::mutex Lock;
     std::vector<SharedRegion *> Regions; ///< live shared regions only
     SharedRegion *FreePool = nullptr;    ///< deleted records for reuse
+    /// RGN_HARDEN only: retired records are parked here instead of
+    /// FreePool and never reused, so a stale SharedRegion* always
+    /// points at a record whose Deleted flag stays set — addRef /
+    /// dropRef / the resolve generation check then diagnose the stale
+    /// handle deterministically instead of silently operating on the
+    /// record's next occupant. Freed with the space.
+    SharedRegion *Retired = nullptr;
     /// Regions.size(), mirrored relaxed for liveSharedRegions().
     std::atomic<std::size_t> LiveCount{0};
     /// Lock-free tryDelete refusals served from this shard's regions.
     std::atomic<std::uint64_t> FastRefusals{0};
   };
+
+  /// One permanently-quiesced manager (see quiesce()). Non-owner
+  /// deleters serialize the destructive deleteRegionRaw through Lock.
+  /// Entries are appended under QuiesceLock and never removed — the
+  /// list is searched by pointer identity only, so a dead manager's
+  /// entry is inert — and freed with the space.
+  struct QuiescedManager {
+    RegionManager *Mgr;
+    QuiescedManager *Next;
+    std::mutex Lock;
+  };
+
+  /// The hand-off entry for \p Mgr, or null when it never quiesced.
+  /// Spaces that never quiesce answer from a lock-free head probe;
+  /// otherwise takes QuiesceLock. The returned entry is stable for
+  /// the space's lifetime. Called on tryDelete's destruction path.
+  QuiescedManager *findQuiesced(const RegionManager *Mgr) const;
+
+  /// RGN_HARDEN: fatal when a count adjustment reaches a record whose
+  /// region was already deleted — a stale handle that, with pooling,
+  /// would silently adjust the record's next occupant (pooling is
+  /// disabled under harden precisely so this stays detectable).
+  static void rsanCheckLive(const SharedRegion *S) {
+    if constexpr (detail::kRsanEnabled) {
+      if (S->Deleted.load(std::memory_order_acquire))
+        reportFatalError(
+            "rsan: count adjustment on a retired SharedRegion record "
+            "(stale shared-region handle)");
+    }
+  }
 
   /// Where thread \p Tid's adjustments to \p S accumulate: a private
   /// padded slot when the index fits S's array, the shared detached
@@ -272,6 +447,13 @@ private:
   }
 
   Shard Shards[kNumShards];
+
+  // Quiesced-manager registry (cross-thread deletion hand-off). The
+  // head is atomic so tryDelete can skip the lock entirely in spaces
+  // where nothing ever quiesced; mutations still serialize on
+  // QuiesceLock.
+  mutable std::mutex QuiesceLock;
+  std::atomic<QuiescedManager *> QuiescedHead{nullptr};
 
   // Thread-slot issuance: the one global critical section left.
   std::mutex RegLock;

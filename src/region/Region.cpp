@@ -494,6 +494,13 @@ bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
                        "(double delete, or a stale/corrupted handle)");
   }
   assert(R && R->Mgr == this && "deleting a foreign or null region");
+  // A region that is currently bound to a par::SharedRegion record must
+  // be retired through ParallelSpace::tryDelete, which clears the
+  // binding (after proving the summed per-thread counts are zero)
+  // before it calls back in here. Deleting it directly would leave the
+  // record's R pointer and the binding dangling into recycled pages.
+  assert(!R->sharedBinding() &&
+         "deleteregion on a shared region: use ParallelSpace::tryDelete");
   ++Stats.DeleteAttempts;
 
   // Deletion is a count inspection: buffered barrier adjustments must

@@ -57,6 +57,10 @@ namespace rt {
 struct SlotNode;
 } // namespace rt
 
+namespace par {
+class SharedRegion;
+} // namespace par
+
 namespace detail {
 
 /// One contiguous run of pages owned by a region, as an (index, length)
@@ -198,6 +202,36 @@ public:
   /// barrier never needs the manager's cache lines).
   bool countsRefs() const { return CountRefs; }
 
+  /// \name Region → SharedRegion binding (parallel extension)
+  /// The inverse of SharedRegion::region(): par::ParallelSpace::share()
+  /// publishes the record here (under the region's shard lock) so a
+  /// displaced pointer can be resolved page-map-first — regionOf(ptr)
+  /// then sharedBinding() — to the record whose count it holds, instead
+  /// of trusting a caller's pre-exchange guess. tryDelete() retires the
+  /// binding before the region's pages are freed. The paired generation
+  /// is a creation stamp copied from the record at bind time: a reader
+  /// that raced record retirement detects the mismatch instead of
+  /// adjusting a pooled-and-reused record's count (see Parallel.h,
+  /// resolveSharedRegion()).
+  /// @{
+  par::SharedRegion *sharedBinding() const {
+    return SharedRec.load(std::memory_order_acquire);
+  }
+  /// The generation the current binding was published with. Relaxed:
+  /// ordered by the acquire load of the record pointer (the writer
+  /// stores the generation first, then the pointer with release).
+  std::uint64_t sharedBindingGen() const {
+    return SharedRecGen.load(std::memory_order_relaxed);
+  }
+  void bindShared(par::SharedRegion *S, std::uint64_t Gen) {
+    SharedRecGen.store(Gen, std::memory_order_relaxed);
+    SharedRec.store(S, std::memory_order_release);
+  }
+  void clearSharedBinding() {
+    SharedRec.store(nullptr, std::memory_order_release);
+  }
+  /// @}
+
   /// The three barrier counters ride in one packed word so a store's
   /// bookkeeping is a single read-modify-write: stores in bits [0,21),
   /// count adjustments in [21,42), sameregion stores in [42,63). The
@@ -297,6 +331,12 @@ private:
   std::uint64_t BarrierAdjustmentsDelta = 0;
   Region *PrevLive = nullptr;
   Region *NextLive = nullptr;
+  // The shared-record binding (see sharedBinding() above). Cold: only
+  // share/tryDelete write it and only resolving exchanges read it, so
+  // it sits here with the other deletion-time fields, off the bump and
+  // barrier cache lines. Atomics keep Region trivially destructible.
+  std::atomic<par::SharedRegion *> SharedRec{nullptr};
+  std::atomic<std::uint64_t> SharedRecGen{0};
   unsigned Id = 0;
   bool CountRefs = false;
 

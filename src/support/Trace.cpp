@@ -101,6 +101,12 @@ const char *rstat::eventName(EventKind K) {
     return "trydelete";
   case EventKind::TryDeleteRefused:
     return "trydelete-refused";
+  case EventKind::ResolveStale:
+    return "resolve-stale";
+  case EventKind::ManagerQuiesced:
+    return "quiesce";
+  case EventKind::TryDeleteHandoff:
+    return "trydelete-handoff";
   }
   return "?";
 }

@@ -59,9 +59,12 @@ enum class EventKind : std::uint8_t {
   ShareRegion,      ///< A = region id, B = shard index
   TryDeleteOk,      ///< A = region id, B = shard index
   TryDeleteRefused, ///< A = region id, B = 1 lock-free, 0 under lock
+  ResolveStale,     ///< A = region id, B = record generation observed
+  ManagerQuiesced,  ///< A = manager's live region count at quiesce
+  TryDeleteHandoff, ///< A = region id, B = shard index
 };
 
-inline constexpr unsigned kNumEventKinds = 11;
+inline constexpr unsigned kNumEventKinds = 14;
 
 /// Stable lower-case event names (also the Chrome trace "name" field).
 const char *eventName(EventKind K);

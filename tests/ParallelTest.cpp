@@ -72,15 +72,164 @@ TEST_F(ParallelTest, SharedExchangeAdjustsLocalCounts) {
   SharedRegion *S = Space.share(Mgr.newRegion());
   int *Obj = rnew<int>(S->region(), 42);
   std::atomic<int *> Slot{nullptr};
-  // Install: +1 on this thread.
-  int *Old = Space.sharedExchange(Slot, Obj, S, S, Tid);
+  // Install: +1 on this thread. The displaced null resolves to no
+  // region; the caller names only the region of the value it installs.
+  int *Old = Space.sharedExchange(Slot, Obj, S, Tid);
   EXPECT_EQ(Old, nullptr);
   EXPECT_EQ(S->totalCount(), 1);
-  // Replace with null: -1.
-  Old = Space.sharedExchange<int>(Slot, nullptr, nullptr, S, Tid);
+  // Replace with null: the displaced Obj resolves to S through the
+  // page map and share()'s binding — no hint involved.
+  Old = Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
   EXPECT_EQ(Old, Obj);
   EXPECT_EQ(S->totalCount(), 0);
   EXPECT_TRUE(Space.tryDelete(S));
+}
+
+TEST_F(ParallelTest, ResolvingExchangeIgnoresNonRegionValues) {
+  // Stack/global/malloc pointers pass through shared slots uncounted:
+  // the resolve classifies them as not-in-any-region and drops nothing.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  int StackVal = 5;
+  std::atomic<int *> Slot{&StackVal};
+  int *Obj = rnew<int>(S->region(), 42);
+  EXPECT_EQ(Space.sharedExchange(Slot, Obj, S, Tid), &StackVal);
+  EXPECT_EQ(S->totalCount(), 1) << "displaced stack pointer: no drop";
+  EXPECT_EQ(Space.sharedExchange(Slot, &StackVal, nullptr, Tid), Obj);
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+}
+
+TEST_F(ParallelTest, ResolvingExchangeIgnoresPrivateRegionValues) {
+  // A pointer into a region that was never share()d resolves to a null
+  // binding: the region is private to its owner, no count to adjust.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  Region *Priv = Mgr.newRegion();
+  int *PrivObj = rnew<int>(Priv, 1);
+  SharedRegion *S = Space.share(Mgr.newRegion());
+  int *Obj = rnew<int>(S->region(), 2);
+  std::atomic<int *> Slot{PrivObj};
+  EXPECT_EQ(Space.sharedExchange(Slot, Obj, S, Tid), PrivObj);
+  EXPECT_EQ(S->totalCount(), 1) << "displaced private-region pointer: no drop";
+  Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
+  EXPECT_EQ(S->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(S));
+  EXPECT_TRUE(Mgr.deleteRegionRaw(Priv));
+}
+
+TEST_F(ParallelTest, ResolvingExchangeCrossRegion) {
+  // The bug this API exists for, deterministically: a slot holding a
+  // value from region A is overwritten with a value from region B. The
+  // drop must land on A — the displaced reference's region — found by
+  // resolution, not on anything the caller guessed.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  SharedRegion *SA = Space.share(Mgr.newRegion());
+  SharedRegion *SB = Space.share(Mgr.newRegion());
+  int *ObjA = rnew<int>(SA->region(), 1);
+  int *ObjB = rnew<int>(SB->region(), 2);
+  std::atomic<int *> Slot{nullptr};
+  Space.sharedExchange(Slot, ObjA, SA, Tid);
+  EXPECT_EQ(SA->totalCount(), 1);
+  EXPECT_EQ(SB->totalCount(), 0);
+  // Cross-region overwrite: +1 on B, and the displaced value resolves
+  // to A for the -1.
+  EXPECT_EQ(Space.sharedExchange(Slot, ObjB, SB, Tid), ObjA);
+  EXPECT_EQ(SA->totalCount(), 0) << "drop must resolve to region A";
+  EXPECT_EQ(SB->totalCount(), 1);
+  EXPECT_FALSE(Space.tryDelete(SB)) << "B is live in the slot";
+  EXPECT_TRUE(Space.tryDelete(SA)) << "A's count must be exactly zero";
+  Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
+  EXPECT_EQ(SB->totalCount(), 0);
+  EXPECT_TRUE(Space.tryDelete(SB));
+}
+
+TEST_F(ParallelTest, CrossRegionRacingExchangesKeepSumsExact) {
+  // Regression for the pre-resolving API: threads race install/clear
+  // on ONE slot with values from TWO shared regions. A caller-supplied
+  // "old region" is a pre-exchange guess about a post-exchange fact —
+  // under this race the guessed drops systematically land on the wrong
+  // region (one sum permanently high: leak; the other prematurely
+  // zero: use-after-free at tryDelete). Resolution makes both sums
+  // exact regardless of interleaving.
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  SharedRegion *SA = Space.share(Mgr.newRegion());
+  SharedRegion *SB = Space.share(Mgr.newRegion());
+  int *ObjA = rnew<int>(SA->region(), 1);
+  int *ObjB = rnew<int>(SB->region(), 2);
+  std::atomic<int *> Slot{nullptr};
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      unsigned Tid = Space.registerThread();
+      for (int I = 0; I != kIters; ++I) {
+        switch ((I + T) % 3) {
+        case 0:
+          Space.sharedExchange(Slot, ObjA, SA, Tid);
+          break;
+        case 1:
+          Space.sharedExchange(Slot, ObjB, SB, Tid);
+          break;
+        default:
+          Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
+          break;
+        }
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  int *Final = Slot.load();
+  EXPECT_EQ(SA->totalCount(), Final == ObjA ? 1 : 0)
+      << "A's sum must be exactly its slot occupancy";
+  EXPECT_EQ(SB->totalCount(), Final == ObjB ? 1 : 0)
+      << "B's sum must be exactly its slot occupancy";
+  // tryDelete accept/refuse must follow the slot: the occupied region
+  // refuses (its reference is live), the other deletes.
+  unsigned Tid = Space.registerThread();
+  if (Final) {
+    SharedRegion *Live = Final == ObjA ? SA : SB;
+    SharedRegion *Dead = Final == ObjA ? SB : SA;
+    EXPECT_FALSE(Space.tryDelete(Live)) << "live slot reference";
+    EXPECT_TRUE(Space.tryDelete(Dead));
+    Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
+    EXPECT_TRUE(Space.tryDelete(Live));
+  } else {
+    EXPECT_TRUE(Space.tryDelete(SA));
+    EXPECT_TRUE(Space.tryDelete(SB));
+  }
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+TEST_F(ParallelTest, QuiesceHandsDeletionToNonOwnerThread) {
+  // The ROADMAP cross-thread hand-off: an owner that is permanently
+  // done with its manager quiesces it into the space; a non-owner
+  // thread's tryDelete may then run the authoritative deletion.
+  auto Mgr = std::make_unique<RegionManager>(SafetyConfig::unsafeConfig());
+  EXPECT_FALSE(Space.managerQuiesced(*Mgr));
+  SharedRegion *S = nullptr;
+  std::thread Owner([&] {
+    unsigned Tid = Space.registerThread();
+    S = Space.share(Mgr->newRegion());
+    Space.addRef(S, Tid); // keep it alive past the owner's exit
+    Space.quiesce(*Mgr);
+  });
+  Owner.join();
+  EXPECT_TRUE(Space.managerQuiesced(*Mgr));
+  // This thread never touched Mgr; the hand-off makes its tryDelete
+  // legitimate once the count drains.
+  unsigned Tid = Space.registerThread();
+  EXPECT_FALSE(Space.tryDelete(S)) << "owner's pin is visible";
+  Space.dropRef(S, Tid);
+  EXPECT_TRUE(Space.tryDelete(S)) << "non-owner delete after quiesce";
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+  EXPECT_EQ(Mgr->liveRegionCount(), 0u);
 }
 
 TEST_F(ParallelTest, ManyThreadsChurnOneSlot) {
@@ -101,9 +250,10 @@ TEST_F(ParallelTest, ManyThreadsChurnOneSlot) {
       for (int I = 0; I != kIters; ++I) {
         // Each displaced value's count is dropped by the displacing
         // thread, so the slot's content is counted exactly once.
+        // Single-region slot: the hinted fast path is sound here (every
+        // value racing through is S's or null), and RGN_HARDEN verifies
+        // the hint against the resolution on every displacement.
         int *New = (I + T) % 2 ? Obj : nullptr;
-        int *Old = Slot.load(std::memory_order_relaxed);
-        (void)Old;
         Space.sharedExchange(Slot, New, New ? S : nullptr, S, Tid);
       }
     });
@@ -146,7 +296,7 @@ TEST_F(ParallelTest, ThreadsBuildInPrivateRegionsAndShare) {
         SharedRegion *S = Space.share(R);
         Shared[static_cast<std::size_t>(T)] = S;
         int *Val = rnew<int>(R, T * 100);
-        Space.sharedExchange(Results[T], Val, S, S, Tid);
+        Space.sharedExchange(Results[T], Val, S, Tid);
         ++Ready;
         while (Ready.load() != kThreads)
           std::this_thread::yield();
@@ -162,7 +312,9 @@ TEST_F(ParallelTest, ThreadsBuildInPrivateRegionsAndShare) {
   unsigned Tid = Space.registerThread();
   for (int T = 0; T != kThreads; ++T) {
     EXPECT_FALSE(Space.tryDelete(Shared[T])) << "still referenced";
-    Space.sharedExchange<int>(Results[T], nullptr, nullptr, Shared[T], Tid);
+    // Cross-arena resolve: the displaced value lives in thread T's
+    // manager, not in any arena this thread allocated from.
+    Space.sharedExchange<int>(Results[T], nullptr, nullptr, Tid);
     EXPECT_TRUE(Space.tryDelete(Shared[T]));
   }
   EXPECT_EQ(Space.liveSharedRegions(), 0u);

@@ -14,11 +14,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "region/Debug.h"
+#include "region/Parallel.h"
 #include "region/Regions.h"
 #include "support/PageSource.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 
 using namespace regions;
@@ -359,6 +361,63 @@ TEST(RsanDeathTest, SameRegionPtrEscapeFatal) {
   EXPECT_DEATH(InA->Next = InB, "SameRegionPtr");
   ASSERT_TRUE(Mgr.deleteRegionRaw(A));
   ASSERT_TRUE(Mgr.deleteRegionRaw(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel extension: stale shared-region handles, hint mismatches
+//===----------------------------------------------------------------------===//
+
+TEST(RsanParallel, RetiredSharedRecordsAreNeverPooled) {
+  // Under harden a successful tryDelete parks the record for good
+  // instead of pooling it, so a stale SharedRegion* always finds a
+  // record whose Deleted flag is still set — never the record's next
+  // occupant. Without this, a pooled-and-reused record makes stale
+  // addRef/tryDelete silently operate on an unrelated region.
+  par::ParallelSpace Space;
+  RegionManager Mgr(SafetyConfig::unsafeConfig());
+  par::SharedRegion *S1 = Space.share(Mgr.newRegion());
+  ASSERT_TRUE(Space.tryDelete(S1));
+  par::SharedRegion *S2 = Space.share(Mgr.newRegion());
+  EXPECT_NE(S1, S2) << "harden must not reuse retired records";
+  ASSERT_TRUE(Space.tryDelete(S2));
+  // Stale tryDelete on the retired record stays a silent no-op "false"
+  // (losers of a legitimate delete race take this path); only count
+  // adjustments are diagnosed fatally.
+  EXPECT_FALSE(Space.tryDelete(S1));
+}
+
+TEST(RsanDeathTest, StaleSharedRegionHandleFatal) {
+  // A count adjustment through a handle whose region was already
+  // retired is the "pooled-and-reused record" bug in the making; with
+  // pooling disabled the generation/Deleted state makes it detectable
+  // deterministically.
+  par::ParallelSpace Space;
+  RegionManager Mgr(SafetyConfig::unsafeConfig());
+  unsigned Tid = Space.registerThread();
+  par::SharedRegion *S = Space.share(Mgr.newRegion());
+  ASSERT_TRUE(Space.tryDelete(S));
+  EXPECT_DEATH(Space.addRef(S, Tid), "retired SharedRegion");
+  EXPECT_DEATH(Space.dropRef(S, Tid), "retired SharedRegion");
+}
+
+TEST(RsanDeathTest, SharedExchangeHintMismatchFatal) {
+  // The hinted fast path asserts that whatever it displaces belongs to
+  // the named region. A slot that actually carried another region's
+  // value is exactly the cross-region race the resolving overload
+  // exists for — harden re-resolves the displaced value and aborts.
+  par::ParallelSpace Space;
+  RegionManager Mgr(SafetyConfig::unsafeConfig());
+  unsigned Tid = Space.registerThread();
+  par::SharedRegion *SA = Space.share(Mgr.newRegion());
+  par::SharedRegion *SB = Space.share(Mgr.newRegion());
+  int *InA = rnew<int>(SA->region(), 1);
+  std::atomic<int *> Slot{nullptr};
+  Space.sharedExchange(Slot, InA, SA, Tid);
+  EXPECT_DEATH(Space.sharedExchange<int>(Slot, nullptr, nullptr, SB, Tid),
+               "hint names the wrong region");
+  Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
+  ASSERT_TRUE(Space.tryDelete(SA));
+  ASSERT_TRUE(Space.tryDelete(SB));
 }
 
 #endif // RGN_HARDEN_ENABLED

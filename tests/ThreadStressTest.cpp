@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -174,10 +175,10 @@ TEST(ThreadStressTest, SharedExchangeRacesStayBalanced) {
     });
   for (std::thread &T : Threads)
     T.join();
-  // Drop whatever the raced exchanges left installed.
-  Space.sharedExchange(Slot, static_cast<int *>(nullptr),
-                       static_cast<par::SharedRegion *>(nullptr), S,
-                       Space.registerThread());
+  // Drop whatever the raced exchanges left installed; the displaced
+  // value (if any) resolves to S without being named.
+  Space.sharedExchange<int>(Slot, nullptr, nullptr,
+                            Space.registerThread());
   EXPECT_EQ(S->totalCount(), 0)
       << "every displaced reference must pair with exactly one drop";
   EXPECT_TRUE(Space.tryDelete(S));
@@ -208,12 +209,12 @@ TEST(ThreadStressTest, ShardedDistinctRegionChurn) {
       for (int I = 0; I != kRounds; ++I) {
         par::SharedRegion *S = Space.share(Mgr.newRegion());
         int *Obj = rnew<int>(S->region(), I);
-        Space.sharedExchange(Slot, Obj, S, nullptr, Tid);
+        Space.sharedExchange(Slot, Obj, S, Tid);
         if (Space.tryDelete(S)) { // published: must refuse
           Failures.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        Space.sharedExchange<int>(Slot, nullptr, nullptr, S, Tid);
+        Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
         if (!Space.tryDelete(S)) // unpublished: must accept
           Failures.fetch_add(1, std::memory_order_relaxed);
       }
@@ -310,6 +311,152 @@ TEST(ThreadStressTest, ThreadSlotChurnAcrossShardsKeepsSumsExact) {
     EXPECT_TRUE(Space.tryDelete(Shared[R])) << "region " << R;
   }
   EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Resolving exchanges and the deletion hand-off
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadStressTest, CrossRegionExchangeRacesResolveExact) {
+  // TSan stress variant of the cross-region regression: threads race
+  // install/clear on ONE slot with values from TWO shared regions
+  // while a poller hammers tryDelete on both. Each drop must land on
+  // the region the displaced value actually points into — resolved
+  // after the exchange — so after the joins both sums are exactly the
+  // slot occupancy plus the pins. A caller-guessed "old region" cannot
+  // get this right under any schedule.
+  par::ParallelSpace Space;
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  par::SharedRegion *SA = Space.share(Mgr.newRegion());
+  par::SharedRegion *SB = Space.share(Mgr.newRegion());
+  int *ObjA = rnew<int>(SA->region(), 1);
+  int *ObjB = rnew<int>(SB->region(), 2);
+  // Pins: keep both sums visibly positive so the poller's every answer
+  // is a lock-free refusal and nothing can free mid-race.
+  unsigned Pin = Space.registerThread();
+  Space.addRef(SA, Pin);
+  Space.addRef(SB, Pin);
+
+  std::atomic<int *> Slot{nullptr};
+  std::atomic<bool> Stop{false};
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&, T] {
+      par::ThreadSlot Tid(Space);
+      for (int I = 0; I != kRounds; ++I) {
+        switch ((I + T) % 3) {
+        case 0:
+          Space.sharedExchange(Slot, ObjA, SA, Tid);
+          break;
+        case 1:
+          Space.sharedExchange(Slot, ObjB, SB, Tid);
+          break;
+        default:
+          Space.sharedExchange<int>(Slot, nullptr, nullptr, Tid);
+          break;
+        }
+      }
+    });
+  std::thread Poller([&] {
+    while (!Stop.load(std::memory_order_acquire))
+      if (Space.tryDelete(SA) || Space.tryDelete(SB))
+        ADD_FAILURE() << "pinned regions must never delete mid-race";
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  Stop.store(true, std::memory_order_release);
+  Poller.join();
+
+  int *Final = Slot.load();
+  EXPECT_EQ(SA->totalCount(), Final == ObjA ? 2 : 1)
+      << "A's sum must be its pin plus its slot occupancy";
+  EXPECT_EQ(SB->totalCount(), Final == ObjB ? 2 : 1)
+      << "B's sum must be its pin plus its slot occupancy";
+  Space.sharedExchange<int>(Slot, nullptr, nullptr, Pin);
+  Space.dropRef(SA, Pin);
+  Space.dropRef(SB, Pin);
+  EXPECT_TRUE(Space.tryDelete(SA));
+  EXPECT_TRUE(Space.tryDelete(SB));
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+}
+
+TEST(ThreadStressTest, QuiescedManagersRetiredByRacingWorkers) {
+  // The cross-thread deletion hand-off under stress: owner threads
+  // create, share, and pin regions, quiesce their managers into the
+  // space, and exit for good. Worker threads then unpin (one drop per
+  // region, partitioned by an atomic ticket) and race tryDelete over
+  // every region: exactly one deleter may win each, and the
+  // destructive step for one manager's regions — scattered over
+  // different shards — must serialize through that manager's hand-off
+  // lock. Run under TSan this proves non-owner deletion is race-free.
+  par::ParallelSpace Space;
+  constexpr int kOwners = 4;
+  constexpr int kRegionsPer = 16;
+  constexpr int kTotal = kOwners * kRegionsPer;
+  std::unique_ptr<RegionManager> Managers[kOwners];
+  par::SharedRegion *Shared[kTotal];
+  {
+    std::vector<std::thread> Owners;
+    for (int O = 0; O != kOwners; ++O)
+      Owners.emplace_back([&, O] {
+        Managers[O] = std::make_unique<RegionManager>(
+            SafetyConfig::unsafeConfig(), std::size_t{64} << 20);
+        unsigned Tid = Space.registerThread();
+        for (int R = 0; R != kRegionsPer; ++R) {
+          par::SharedRegion *S = Space.share(Managers[O]->newRegion());
+          Space.addRef(S, Tid); // pinned until a worker unpins it
+          Shared[O * kRegionsPer + R] = S;
+        }
+        Space.quiesce(*Managers[O]);
+        Space.unregisterThread(Tid); // pins bank into Detached
+      });
+    for (std::thread &T : Owners)
+      T.join();
+  }
+  for (int O = 0; O != kOwners; ++O)
+    EXPECT_TRUE(Space.managerQuiesced(*Managers[O]));
+  EXPECT_EQ(Space.liveSharedRegions(), static_cast<std::size_t>(kTotal));
+
+  constexpr int kWorkers = 8;
+  std::atomic<int> Wins{0};
+  {
+    // Wave 1: each pin dropped exactly once, workers partition by
+    // ticket. Counts go negative on the dropping worker's slot; only
+    // the sums matter.
+    std::atomic<int> Ticket{0};
+    std::vector<std::thread> Workers;
+    for (int W = 0; W != kWorkers; ++W)
+      Workers.emplace_back([&] {
+        par::ThreadSlot Tid(Space);
+        for (int I; (I = Ticket.fetch_add(1, std::memory_order_relaxed)) <
+                    kTotal;)
+          Space.dropRef(Shared[I], Tid);
+      });
+    for (std::thread &T : Workers)
+      T.join();
+  }
+  {
+    // Wave 2: every worker races one tryDelete per region. None of
+    // these threads ever touched the owning managers; quiesce() makes
+    // their deletions legitimate and the hand-off lock serializes them.
+    std::vector<std::thread> Workers;
+    for (int W = 0; W != kWorkers; ++W)
+      Workers.emplace_back([&] {
+        par::ThreadSlot Tid(Space);
+        for (int I = 0; I != kTotal; ++I)
+          if (Space.tryDelete(Shared[I]))
+            Wins.fetch_add(1, std::memory_order_relaxed);
+      });
+    for (std::thread &T : Workers)
+      T.join();
+  }
+  EXPECT_EQ(Wins.load(), kTotal) << "exactly one winner per region";
+  EXPECT_EQ(Space.liveSharedRegions(), 0u);
+  for (int O = 0; O != kOwners; ++O)
+    EXPECT_EQ(Managers[O]->liveRegionCount(), 0u)
+        << "every quiesced manager fully drained by non-owners";
 }
 
 //===----------------------------------------------------------------------===//
