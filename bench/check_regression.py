@@ -5,8 +5,9 @@ Usage: check_regression.py baseline.json fresh.json [--threshold 0.15]
        check_regression.py --self-test
 
 Exits non-zero if any benchmark present in both files regressed by
-more than the threshold on its ns/op metric (ns_per_alloc or
-ns_per_op, whichever the suite records). Benchmarks that appear only
+more than the threshold on its ns/op metric (ns_per_alloc, ns_per_op,
+ns_per_page or ns_per_request — whichever the suite records).
+Benchmarks that appear only
 on one side are reported but never fail the check — suites are allowed
 to grow and shrink. Comparisons across build types are refused: a
 debug-vs-release diff measures the compiler, not the change.
@@ -18,7 +19,7 @@ import argparse
 import json
 import sys
 
-NS_KEYS = ("ns_per_alloc", "ns_per_op", "ns_per_page")
+NS_KEYS = ("ns_per_alloc", "ns_per_op", "ns_per_page", "ns_per_request")
 
 
 def load(path):
@@ -92,12 +93,12 @@ def self_test():
     0.2 a.json b.json` used to leak "0.2" into the positional
     arguments and compare the wrong files."""
 
-    def suite(ns_by_name, build_type="Release"):
+    def suite(ns_by_name, build_type="Release", key="ns_per_op"):
         return {
             "benchmark": "selftest",
             "context": {"build_type": build_type},
             "results": [
-                {"name": n, "ns_per_op": v} for n, v in ns_by_name.items()
+                {"name": n, key: v} for n, v in ns_by_name.items()
             ],
         }
 
@@ -122,6 +123,22 @@ def self_test():
           compare(base, suite({"BM_a": 10.0, "BM_c": 99.0}), 0.15), 0)
     check("build-type mismatch refused",
           compare(base, suite({"BM_a": 10.0}, build_type="Debug"), 0.15), 2)
+
+    # The server (rpool) suite records ns_per_request: the pooled and
+    # reset request-cycle rows must be extracted and compared like any
+    # other ns metric, not silently skipped as unknown keys.
+    pool_base = suite({"BM_RequestCyclePooled/4096": 30.0,
+                       "BM_RequestCycleNew/4096": 90.0},
+                      key="ns_per_request")
+    check("ns_per_request rows extracted",
+          len(extract_rows(pool_base)), 2)
+    check("pooled-cycle suite identical passes",
+          compare(pool_base, pool_base, 0.15), 0)
+    check("pooled-cycle regression caught",
+          compare(pool_base,
+                  suite({"BM_RequestCyclePooled/4096": 60.0,
+                         "BM_RequestCycleNew/4096": 90.0},
+                        key="ns_per_request"), 0.15), 1)
 
     # The parser itself: an option value must not become a positional.
     ns = parse_args(["--threshold", "0.2", "base.json", "fresh.json"])

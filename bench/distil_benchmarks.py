@@ -31,6 +31,8 @@ CONFIG = {
     "BM_RegionTeardownRaw": "unsafe",
     "BM_RegionCycleSafe": "safe",
     "BM_RegionCycleRaw": "unsafe",
+    "BM_RequestCycleNew": "safe",
+    "BM_RequestCyclePooled": "safe",
 }
 
 

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/Experiment.h"
+#include "region/Pool.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -52,6 +53,18 @@ int main(int argc, char **argv) {
         Region *Rgn = Mgr.newRegion();
         Mgr.allocRaw(Rgn, 64);
         Mgr.deleteRegionRaw(Rgn);
+      }
+      // rpool churn: one in-place reset per cycle, so the trace
+      // carries the pool-acquire / resetregion / pool-release
+      // vocabulary and the derived pooled-regions counter track.
+      RegionPool Pool{Mgr};
+      for (int I = 0; I != 32; ++I) {
+        Region *Rgn = Pool.acquire();
+        Mgr.allocRaw(Rgn, 64);
+        if (!Pool.release(Rgn)) {
+          std::fprintf(stderr, "rstat_smoke: pool release refused\n");
+          std::abort();
+        }
       }
     });
   for (auto &T : Workers)

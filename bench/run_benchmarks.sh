@@ -6,17 +6,22 @@
 # binaries are meaningless and have been published by accident before:
 # the build type now comes from CMakeCache.txt, not from whatever the
 # benchmark library claims), runs bench/micro_alloc, bench/barrier,
-# bench/parallel and bench/teardown in JSON mode, and distils the
-# results into BENCH_micro_alloc.json / BENCH_barrier.json /
-# BENCH_parallel.json / BENCH_teardown.json: one record per benchmark
-# with ns/op (items-per-second inverted; ns per page freed for the
-# teardown suite) so successive runs can be diffed by eye or by CI.
+# bench/parallel, bench/teardown and bench/server in JSON mode, and
+# distils the results into BENCH_micro_alloc.json / BENCH_barrier.json
+# / BENCH_parallel.json / BENCH_teardown.json / BENCH_server.json: one
+# record per benchmark with ns/op (items-per-second inverted; ns per
+# page freed for the teardown suite, ns per request for the rpool
+# server suite) so successive runs can be diffed by eye or by CI.
 # The safe/unsafe split mirrors the paper's Figure 11 axis.
 #
-# Usage: bench/run_benchmarks.sh [--check] [build-dir] [output-dir]
+# Usage: bench/run_benchmarks.sh [--check] [--suite NAME] [build-dir]
+#                                [output-dir]
 #   --check    after measuring, compare against the committed
 #              BENCH_*.json baselines with bench/check_regression.py
 #              (>15% regression on any ns/op fails).
+#   --suite    run (and under --check, compare) only the named suite:
+#              micro_alloc, barrier, parallel, teardown, server or
+#              metrics. Default: everything.
 #   build-dir  defaults to build-release (configured on demand).
 #   output-dir defaults to the repository root (i.e. refresh the
 #              committed baselines in place); under --check it defaults
@@ -28,10 +33,34 @@
 set -eu
 
 CHECK=0
-if [ "${1:-}" = "--check" ]; then
-  CHECK=1
-  shift
-fi
+SUITE=all
+while :; do
+  case "${1:-}" in
+  --check)
+    CHECK=1
+    shift
+    ;;
+  --suite)
+    SUITE=${2:?error: --suite needs a name}
+    shift 2
+    ;;
+  *) break ;;
+  esac
+done
+
+case "$SUITE" in
+all | micro_alloc | barrier | parallel | teardown | server | metrics) ;;
+*)
+  echo "error: unknown suite '$SUITE' (micro_alloc, barrier, parallel," >&2
+  echo "teardown, server or metrics)" >&2
+  exit 1
+  ;;
+esac
+
+# Whether a suite is selected under the current --suite filter.
+wanted() {
+  [ "$SUITE" = all ] || [ "$SUITE" = "$1" ]
+}
 
 REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${1:-build-release}
@@ -64,7 +93,7 @@ Release | RelWithDebInfo) ;;
 esac
 
 cmake --build "$BUILD_DIR" --target micro_alloc barrier parallel teardown \
-  table2_region_stats -j >/dev/null
+  server table2_region_stats -j >/dev/null
 
 run_one() {
   # $1 binary name, $2 benchmark filter, $3 output json, $4 ns key
@@ -78,25 +107,31 @@ run_one() {
   rm -f "$RAW"
 }
 
-run_one micro_alloc \
+wanted micro_alloc && run_one micro_alloc \
   'BM_Region(Alloc|AllocSafe|AllocSafeRaw|AllocZeroedRaw|BulkDelete|Of.*)$' \
   BENCH_micro_alloc.json ns_per_alloc
-run_one barrier 'BM_' BENCH_barrier.json ns_per_op
-run_one parallel 'BM_' BENCH_parallel.json ns_per_op
-run_one teardown 'BM_' BENCH_teardown.json ns_per_page
+wanted barrier && run_one barrier 'BM_' BENCH_barrier.json ns_per_op
+wanted parallel && run_one parallel 'BM_' BENCH_parallel.json ns_per_op
+wanted teardown && run_one teardown 'BM_' BENCH_teardown.json ns_per_page
+wanted server && run_one server 'BM_' BENCH_server.json ns_per_request
 
 # Archive the heap shape next to the timings: a MetricsSnapshot of the
 # Table 2 workload run (rstat's --metrics switch), validated so a
 # broken exporter fails the run rather than silently publishing junk.
-"$BUILD_DIR/bench/table2_region_stats" \
-  --metrics="$OUT_DIR/BENCH_metrics.json" >/dev/null
-python3 "$REPO_DIR/bench/validate_trace.py" \
-  --metrics "$OUT_DIR/BENCH_metrics.json"
+if wanted metrics; then
+  "$BUILD_DIR/bench/table2_region_stats" \
+    --metrics="$OUT_DIR/BENCH_metrics.json" >/dev/null
+  python3 "$REPO_DIR/bench/validate_trace.py" \
+    --metrics "$OUT_DIR/BENCH_metrics.json"
+fi
 
 if [ "$CHECK" = 1 ]; then
   STATUS=0
   for NAME in BENCH_micro_alloc.json BENCH_barrier.json BENCH_parallel.json \
-    BENCH_teardown.json; do
+    BENCH_teardown.json BENCH_server.json; do
+    SUITE_OF=${NAME#BENCH_}
+    SUITE_OF=${SUITE_OF%.json}
+    wanted "$SUITE_OF" || continue
     python3 "$REPO_DIR/bench/check_regression.py" \
       "$REPO_DIR/$NAME" "$OUT_DIR/$NAME" || STATUS=1
   done

@@ -6,7 +6,8 @@ Usage: validate_trace.py [--trace trace.json] [--metrics rstat_metrics.json]
 Checks that the trace file is well-formed Chrome trace-event JSON
 (the Perfetto / chrome://tracing interchange format) containing only
 the rstat event vocabulary with sane payloads — instant lifecycle
-events plus the derived live-regions/live-bytes counter tracks — and
+events plus the derived live-regions/live-bytes/pooled-regions
+counter tracks — and
 that the metrics file carries every section and counter invariant a
 MetricsSnapshot guarantees. Either artifact may be validated alone.
 Exits 0 when everything given passes, 1 otherwise.
@@ -31,6 +32,11 @@ EVENT_NAMES = {
     "resolve-stale",
     "quiesce",
     "trydelete-handoff",
+    "resetregion",
+    "resetregion-refused",
+    "pool-acquire",
+    "pool-release",
+    "pool-trim",
 }
 
 # Derived heap-shape counter tracks ("C" phase events): name -> the
@@ -38,15 +44,19 @@ EVENT_NAMES = {
 COUNTER_NAMES = {
     "live-regions": "regions",
     "live-bytes": "bytes",
+    "pooled-regions": "regions",
 }
 
 MANAGER_KEYS = [
     "totalAllocs", "totalRequestedBytes", "liveRequestedBytes",
     "maxLiveRequestedBytes", "totalRegions", "liveRegions",
     "maxLiveRegions", "maxRegionBytes", "deleteAttempts",
-    "deleteFailures", "cleanupThunksRun", "barrierStores",
+    "deleteFailures", "resetRegions", "resetRefusals",
+    "cleanupThunksRun", "barrierStores",
     "barrierSameRegion", "barrierAdjustments",
 ]
+
+POOL_KEYS = ["hits", "misses", "releases", "trims"]
 
 PAGESOURCE_KEYS = [
     "osBytes", "inUseBytes", "reservedPages", "frontierPages",
@@ -76,6 +86,7 @@ def validate_trace(path, errors):
         fail(errors, "trace: no events recorded (armed run expected some)")
     per_tid_ts = {}
     counters = 0
+    counter_tracks = set()
     for i, e in enumerate(events):
         where = f"trace event #{i}"
         if e.get("cat") != "region":
@@ -90,6 +101,7 @@ def validate_trace(path, errors):
             # Derived heap-shape counter: value must be the track's
             # series key, a non-negative integer (the exporter clamps).
             counters += 1
+            counter_tracks.add(e.get("name"))
             series = COUNTER_NAMES.get(e.get("name"))
             if series is None:
                 fail(errors, f"{where}: unknown counter {e.get('name')!r}")
@@ -124,6 +136,9 @@ def validate_trace(path, errors):
     if "newregion" in names and counters == 0:
         fail(errors, "trace: no derived counter events ('C' phase) in a "
                      "trace with region lifecycle instants")
+    if "pool-release" in names and "pooled-regions" not in counter_tracks:
+        fail(errors, "trace: pool lifecycle instants present but no "
+                     "'pooled-regions' counter track derived from them")
     return len(events)
 
 
@@ -131,9 +146,11 @@ def validate_metrics(path, errors):
     with open(path) as f:
         doc = json.load(f)
     mgr = doc.get("manager")
+    pool = doc.get("pool")
     src = doc.get("pageSource")
     hist = doc.get("histograms")
     for section, keys, name in ((mgr, MANAGER_KEYS, "manager"),
+                                (pool, POOL_KEYS, "pool"),
                                 (src, PAGESOURCE_KEYS, "pageSource")):
         if not isinstance(section, dict):
             fail(errors, f"metrics: missing {name!r} section")
@@ -177,6 +194,15 @@ def validate_metrics(path, errors):
         fail(errors, "metrics: deleteFailures exceeds deleteAttempts")
     if mgr.get("liveRegions", 0) > mgr.get("totalRegions", 0):
         fail(errors, "metrics: liveRegions exceeds totalRegions")
+    if isinstance(pool, dict):
+        # Pool counter tracks: every hit pops an entry a release once
+        # parked, and every park was preceded by a successful in-place
+        # reset, so the manager's resetRegions bounds releases.
+        if pool.get("hits", 0) > pool.get("releases", 0):
+            fail(errors, "metrics: pool.hits exceeds pool.releases")
+        if pool.get("releases", 0) > mgr.get("resetRegions", 0):
+            fail(errors, "metrics: pool.releases exceeds "
+                         "manager.resetRegions")
 
 
 def main():

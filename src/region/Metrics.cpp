@@ -19,6 +19,7 @@ MetricsSnapshot RegionManager::metrics() const {
   // Through stats(), never reimplemented: the snapshot's counters are
   // the exact values every existing report prints, by construction.
   M.Stats = stats();
+  M.Pool = PoolCounters;
 
   M.OsBytes = Source.osBytes();
   M.InUseBytes = Source.inUseBytes();
@@ -84,6 +85,8 @@ void regions::writeMetricsJson(const MetricsSnapshot &M, std::FILE *Out) {
                S.DeleteAttempts);
   std::fprintf(Out, "    \"deleteFailures\": %" PRIu64 ",\n",
                S.DeleteFailures);
+  std::fprintf(Out, "    \"resetRegions\": %" PRIu64 ",\n", S.ResetRegions);
+  std::fprintf(Out, "    \"resetRefusals\": %" PRIu64 ",\n", S.ResetRefusals);
   std::fprintf(Out, "    \"cleanupThunksRun\": %" PRIu64 ",\n",
                S.CleanupThunksRun);
   std::fprintf(Out, "    \"barrierStores\": %" PRIu64 ",\n", S.BarrierStores);
@@ -91,6 +94,11 @@ void regions::writeMetricsJson(const MetricsSnapshot &M, std::FILE *Out) {
                S.BarrierSameRegion);
   std::fprintf(Out, "    \"barrierAdjustments\": %" PRIu64 "\n",
                S.BarrierAdjustments);
+  std::fprintf(Out, "  },\n  \"pool\": {\n");
+  std::fprintf(Out, "    \"hits\": %" PRIu64 ",\n", M.Pool.Hits);
+  std::fprintf(Out, "    \"misses\": %" PRIu64 ",\n", M.Pool.Misses);
+  std::fprintf(Out, "    \"releases\": %" PRIu64 ",\n", M.Pool.Releases);
+  std::fprintf(Out, "    \"trims\": %" PRIu64 "\n", M.Pool.Trims);
   std::fprintf(Out, "  },\n  \"pageSource\": {\n");
   std::fprintf(Out, "    \"osBytes\": %" PRIu64 ",\n", M.OsBytes);
   std::fprintf(Out, "    \"inUseBytes\": %" PRIu64 ",\n", M.InUseBytes);
@@ -138,6 +146,12 @@ void regions::printMetrics(const MetricsSnapshot &M, std::FILE *Out) {
   Counters.addRow({"max region kb", TW::fmtKb(S.MaxRegionBytes)});
   Counters.addRow({"delete attempts", TW::fmt(S.DeleteAttempts)});
   Counters.addRow({"delete failures", TW::fmt(S.DeleteFailures)});
+  Counters.addRow({"region resets", TW::fmt(S.ResetRegions)});
+  Counters.addRow({"reset refusals", TW::fmt(S.ResetRefusals)});
+  Counters.addRow({"pool hits", TW::fmt(M.Pool.Hits)});
+  Counters.addRow({"pool misses", TW::fmt(M.Pool.Misses)});
+  Counters.addRow({"pool releases", TW::fmt(M.Pool.Releases)});
+  Counters.addRow({"pool trims", TW::fmt(M.Pool.Trims)});
   Counters.addRow({"cleanup thunks run", TW::fmt(S.CleanupThunksRun)});
   Counters.addRow({"barrier stores", TW::fmt(S.BarrierStores)});
   Counters.addRow({"barrier sameregion", TW::fmt(S.BarrierSameRegion)});

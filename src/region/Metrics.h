@@ -39,6 +39,10 @@ struct MetricsSnapshot {
   /// Aggregated manager counters — identical to RegionManager::stats().
   RegionStats Stats;
 
+  /// rpool activity — identical to RegionManager::poolStats(): every
+  /// RegionPool over this manager, summed (region/Pool.h).
+  PoolStats Pool;
+
   // PageSource state (Figure 8's OS-level view plus the free-list and
   // quarantine internals PR 4/6 added).
   std::uint64_t OsBytes = 0;        ///< frontier high-water mark, bytes

@@ -438,6 +438,12 @@ private:
     }
   }
 
+  /// Readies a pooled record for its next share: counts zeroed (or the
+  /// slot array regrown), Detached/Deleting cleared, Deleted cleared
+  /// last with release. Runs outside the shard lock on the magazine
+  /// reuse path (Parallel.cpp), under it on the FreePool path.
+  static void prepareRecord(SharedRegion *S, unsigned Want);
+
   /// Where thread \p Tid's adjustments to \p S accumulate: a private
   /// padded slot when the index fits S's array, the shared detached
   /// counter otherwise.

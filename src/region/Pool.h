@@ -1,0 +1,122 @@
+//===- region/Pool.h - rpool: recycled-region caches -----------*- C++ -*-===//
+//
+// Part of the regions project (Gay & Aiken, PLDI 1998 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pooling half of **rpool**, the region-recycling subsystem. The
+/// paper makes deallocation nearly free by amortizing it over a whole
+/// region; region-per-request servers then pay the *creation* side —
+/// page-map updates, run carving, first-page zeroing — millions of
+/// times over. RegionPool closes that loop: released regions are reset
+/// in place (RegionManager::resetRegion keeps their page runs as a
+/// re-carve reservoir) and parked, so the next acquire() hands back a
+/// warm, empty region without touching the PageSource at all.
+///
+/// Threading model: a RegionPool is thread-affine, exactly like the
+/// RegionManager it wraps — hold one per worker thread (stack-local or
+/// thread_local) over that thread's manager. Steady-state acquire()
+/// is then one TLS load (the pool) plus one vector pop; release() is a
+/// resetRegion plus one push. Shared regions (par::ParallelSpace) must
+/// never pass through a pool: retire them with tryDelete, which proves
+/// the cross-thread counts are zero first — resetRegion aborts on a
+/// live SharedRegion binding.
+///
+/// Retention policy: the cache is LIFO (the most recently released
+/// region is the warmest) and doubly bounded — by region count and by
+/// total retained pages. A release that would overflow either bound
+/// evicts the *oldest* cached regions back to the PageSource as whole
+/// runs (coalescer-friendly), keeping the newcomer. Trimmed and
+/// destructed pools return every page; an idle process keeps nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGION_POOL_H
+#define REGION_POOL_H
+
+#include "region/Region.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace regions {
+
+/// Bounds for one pool's cache. The defaults suit a request-serving
+/// worker: up to 64 warm regions, capped at 4 MiB of retained pages.
+struct RegionPoolConfig {
+  std::size_t MaxRegions = 64;
+  std::size_t MaxRetainedPages = 1024;
+};
+
+/// A per-thread cache of reset-ready regions over one RegionManager.
+/// Activity is aggregated into the manager's PoolStats (surfaced via
+/// MetricsSnapshot) and traced as pool-acquire / pool-release /
+/// pool-trim rstat events.
+class RegionPool {
+public:
+  explicit RegionPool(RegionManager &Manager, RegionPoolConfig Config = {})
+      : Mgr(Manager), Cfg(Config) {}
+
+  RegionPool(const RegionPool &) = delete;
+  RegionPool &operator=(const RegionPool &) = delete;
+
+  /// Returns every cached region's pages to the PageSource.
+  ~RegionPool() { trimAll(); }
+
+  /// Hands out an empty region: the most recently released one when the
+  /// cache is warm (one pop, no PageSource traffic), a fresh
+  /// newRegion() otherwise.
+  Region *acquire() {
+    if (RGN_LIKELY(!Cache.empty())) {
+      Entry E = Cache.back();
+      Cache.pop_back();
+      RetainedPages -= E.Pages;
+      ++Mgr.poolStatsMutable().Hits;
+      rstat::traceEvent(rstat::EventKind::PoolAcquire, E.R->id(), 1);
+      return E.R;
+    }
+    return acquireSlow();
+  }
+
+  /// Resets \p R in place and parks it for reuse, evicting the oldest
+  /// cached regions if the count or page budget would overflow.
+  /// Returns false — region untouched, caller keeps it — when the
+  /// reset refuses (live external references). \p R must be a private
+  /// region of this pool's manager.
+  bool release(Region *R) {
+    if (RGN_UNLIKELY(!Mgr.resetRegion(R)))
+      return false;
+    park(R);
+    return true;
+  }
+
+  /// Deletes every cached region, returning its pages (whole runs) to
+  /// the PageSource.
+  void trimAll();
+
+  std::size_t cachedRegions() const { return Cache.size(); }
+  std::size_t retainedPages() const { return RetainedPages; }
+  RegionManager &manager() const { return Mgr; }
+  const RegionPoolConfig &config() const { return Cfg; }
+
+private:
+  struct Entry {
+    Region *R;
+    std::uint32_t Pages; ///< ownedPages() at park time
+  };
+
+  Region *acquireSlow();
+  void park(Region *R);
+  void trimFront();
+
+  RegionManager &Mgr;
+  RegionPoolConfig Cfg;
+  std::vector<Entry> Cache; ///< LIFO: back is the warmest
+  std::size_t RetainedPages = 0;
+};
+
+} // namespace regions
+
+#endif // REGION_POOL_H

@@ -176,33 +176,48 @@ void RegionManager::recordRun(Region *R, std::uint32_t PageIdx,
 
 char *RegionManager::carvePage(Region *R, bool &Zeroed) {
   if (R->RunCursor == R->RunEnd) {
-    // Geometric growth, doubling every other run: 1, 1, 2, 2, 4, 4, 8,
-    // 8, then kMaxRunPages forever. Two leading single-page runs keep
-    // the common tiny region (its own page plus one str page) waste-
-    // free, the half-rate doubling keeps mid-size regions' uncarved
-    // slack (which Figure 8's osBytes high-water mark sees) low, and
-    // the cap keeps every freed run exact-bin recyclable.
-    static_assert(Region::kMaxRunPages == 16, "growth schedule assumes 16");
-    std::uint32_t N = R->NumRuns >= 8 ? Region::kMaxRunPages
-                                      : 1u << (R->NumRuns >> 1);
-    bool RunZeroed = false;
-    char *Base = static_cast<char *>(Source.allocPages(N, &RunZeroed));
-    auto Idx = static_cast<std::uint32_t>(Source.pageIndex(Base));
-    recordRun(R, Idx, N);
-    rstat::traceEvent(rstat::EventKind::RunGrab, Idx, N);
-    // The whole run maps to R immediately: regionOf on an uncarved page
-    // answers R, which is correct — the pages are owned by (and die
-    // with) this region.
-    setMapRange(Base, N, R);
-    if constexpr (detail::kRsanEnabled) {
-      // Uncarved pages are out of bounds until handed to a bump list;
-      // freePages lifts this protection run-wise at teardown.
-      if (N > 1)
-        RGN_ASAN_POISON(Base + kPageSize, (std::size_t{N} - 1) * kPageSize);
+    // rpool reservoir first: runs retained by resetRegion re-carve with
+    // no PageSource traffic, no page-map writes, and no RunGrab trace —
+    // the pages never left the region. Never-reset regions keep the
+    // window empty, so this is one always-false compare for them.
+    if (RGN_UNLIKELY(R->NextReserve < R->ReserveEnd)) {
+      detail::PageRun Run =
+          R->NextReserve < Region::kInlineRuns
+              ? R->InlineRuns[R->NextReserve]
+              : R->OverflowRuns[R->NextReserve - Region::kInlineRuns];
+      ++R->NextReserve;
+      R->RunCursor = Run.PageIdx;
+      R->RunEnd = Run.PageIdx + Run.NumPages;
+      R->RunZeroed = 0; // dirty: written by the previous incarnation
+    } else {
+      // Geometric growth, doubling every other run: 1, 1, 2, 2, 4, 4,
+      // 8, 8, then kMaxRunPages forever. Two leading single-page runs
+      // keep the common tiny region (its own page plus one str page)
+      // waste-free, the half-rate doubling keeps mid-size regions'
+      // uncarved slack (which Figure 8's osBytes high-water mark sees)
+      // low, and the cap keeps every freed run exact-bin recyclable.
+      static_assert(Region::kMaxRunPages == 16, "growth schedule assumes 16");
+      std::uint32_t N = R->NumRuns >= 8 ? Region::kMaxRunPages
+                                        : 1u << (R->NumRuns >> 1);
+      bool RunZeroed = false;
+      char *Base = static_cast<char *>(Source.allocPages(N, &RunZeroed));
+      auto Idx = static_cast<std::uint32_t>(Source.pageIndex(Base));
+      recordRun(R, Idx, N);
+      rstat::traceEvent(rstat::EventKind::RunGrab, Idx, N);
+      // The whole run maps to R immediately: regionOf on an uncarved
+      // page answers R, which is correct — the pages are owned by (and
+      // die with) this region.
+      setMapRange(Base, N, R);
+      if constexpr (detail::kRsanEnabled) {
+        // Uncarved pages are out of bounds until handed to a bump list;
+        // freePages lifts this protection run-wise at teardown.
+        if (N > 1)
+          RGN_ASAN_POISON(Base + kPageSize, (std::size_t{N} - 1) * kPageSize);
+      }
+      R->RunCursor = Idx;
+      R->RunEnd = Idx + N;
+      R->RunZeroed = RunZeroed ? 1 : 0;
     }
-    R->RunCursor = Idx;
-    R->RunEnd = Idx + N;
-    R->RunZeroed = RunZeroed ? 1 : 0;
   }
   char *Page = Source.base() + std::size_t{R->RunCursor} * kPageSize;
   ++R->RunCursor;
@@ -348,7 +363,37 @@ void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
   std::size_t Total = detail::kLargePayloadOff + Aligned + detail::kRsanRedZone;
   std::size_t NumPages = alignTo(Total, kPageSize) / kPageSize;
   bool PagesZeroed = false;
-  char *Block = static_cast<char *>(Source.allocPages(NumPages, &PagesZeroed));
+  char *Block = nullptr;
+  // rpool reservoir first: a region-per-request steady state re-
+  // allocates the same large buffer every incarnation, so after a
+  // reset an exact-fit retained run is the common case. Reuse skips
+  // the source grab, the RunGrab trace, and the per-page map writes —
+  // the run is already recorded and mapped; only the object headers
+  // are rewritten. The hit run is swapped to the window's front so the
+  // reserve window stays contiguous for carvePage.
+  if (RGN_UNLIKELY(R->NextReserve < R->ReserveEnd)) {
+    for (std::uint32_t I = R->NextReserve; I != R->ReserveEnd; ++I) {
+      if (R->runAt(I).NumPages != NumPages)
+        continue;
+      detail::PageRun &Front = R->runAt(R->NextReserve);
+      detail::PageRun Hit = R->runAt(I);
+      R->runAt(I) = Front;
+      Front = Hit;
+      ++R->NextReserve;
+      Block = Source.base() + std::size_t{Hit.PageIdx} * kPageSize;
+      if constexpr (detail::kRsanEnabled)
+        RGN_ASAN_UNPOISON(Block, NumPages * kPageSize);
+      break;
+    }
+  }
+  if (Block == nullptr) {
+    Block = static_cast<char *>(Source.allocPages(NumPages, &PagesZeroed));
+    recordRun(R, static_cast<std::uint32_t>(Source.pageIndex(Block)),
+              static_cast<std::uint32_t>(NumPages));
+    rstat::traceEvent(rstat::EventKind::RunGrab, Source.pageIndex(Block),
+                      static_cast<std::uint32_t>(NumPages));
+    setMapRange(Block, NumPages, R);
+  }
   *headerOf(Block) = {R->LargeHead,
                       static_cast<std::uint32_t>(detail::kLargeThunkOff),
                       PageKind::Large, 0};
@@ -357,11 +402,6 @@ void *RegionManager::allocLarge(Region *R, std::size_t Size, ScanThunk Thunk,
       NumPages;
   *reinterpret_cast<ScanThunk *>(Block + detail::kLargeThunkOff) = Thunk;
   detail::rsanStampObject(Block + detail::kLargeSizeOff, Size, Aligned);
-  recordRun(R, static_cast<std::uint32_t>(Source.pageIndex(Block)),
-            static_cast<std::uint32_t>(NumPages));
-  rstat::traceEvent(rstat::EventKind::RunGrab, Source.pageIndex(Block),
-                    static_cast<std::uint32_t>(NumPages));
-  setMapRange(Block, NumPages, R);
   if ((Zeroed || (Thunk && Cfg.ZeroMemory)) && !PagesZeroed)
     std::memset(Block + detail::kLargePayloadOff, 0, Aligned);
 
@@ -548,6 +588,142 @@ bool RegionManager::deleteRegionImpl(Region *R, void **HandleSlot,
   std::size_t PagesFreed = freeRegionMemory(R);
   rstat::traceEvent(rstat::EventKind::DeleteRegionOk, Id,
                     static_cast<std::uint32_t>(PagesFreed));
+  return true;
+}
+
+bool RegionManager::resetRegion(Region *R) {
+  if constexpr (detail::kRsanEnabled) {
+    // Same stale-handle diagnosis as deleteregion, before any member
+    // access: a reset of a deleted (or trimmed) region's handle lands
+    // on quarantined poison.
+    if (!R || regionOf(static_cast<const void *>(R)) != R)
+      reportFatalError("rsan: resetregion on a region that is not live "
+                       "(double delete, or a stale/corrupted handle)");
+  }
+  assert(R && R->Mgr == this && "resetting a foreign or null region");
+  // A shared region's record holds counted references owned by other
+  // threads; recycling the storage under them is a use-after-free by
+  // construction. Fatal in every build: the pool must never see one.
+  if (RGN_UNLIKELY(R->sharedBinding() != nullptr))
+    reportFatalError("resetregion on a shared region: retire it through "
+                     "ParallelSpace::tryDelete, never a pool");
+
+  // Reset is a count inspection exactly like deletion: flush buffered
+  // adjustments, scan the shadow stack, and refuse while any counted
+  // external reference or live scanned local remains. There is no
+  // handle exception — the caller's own handle survives the reset.
+  detail::flushPendingCounts();
+  if (Cfg.StackScan)
+    rt::RuntimeStack::current().scanForDelete();
+  if (Cfg.RefCounts || Cfg.StackScan) {
+    std::size_t TopRefs =
+        Cfg.StackScan
+            ? rt::RuntimeStack::current().countTopFrameRefsTo(R, nullptr)
+            : 0;
+    if (R->RC != 0 || TopRefs != 0) {
+      ++Stats.ResetRefusals;
+      rstat::traceEvent(rstat::EventKind::ResetRegionFail, R->Id,
+                        static_cast<std::uint32_t>(
+                            R->RC < 0 ? 0 : R->RC + TopRefs));
+      return false;
+    }
+  }
+
+  // The reset will go ahead: validate hardened metadata while it is
+  // still reachable, then finalize the incarnation's objects.
+  if constexpr (detail::kRsanEnabled)
+    rsanValidate(R, /*FatalOnViolation=*/true);
+  if (Cfg.CleanupScan)
+    runCleanups(R);
+
+  // Fold the retiring incarnation into the global view exactly as
+  // freeRegionMemory would — watermark sample, per-allocation counters,
+  // histograms — except the region stays live and listed: one logical
+  // region ends and another begins in the same storage, so TotalRegions
+  // ticks while LiveRegions holds.
+  std::uint64_t LiveBytes = 0;
+  for (const Region *L = LiveHead; L; L = L->NextLive)
+    LiveBytes += L->ReqBytes;
+  if (LiveBytes > Stats.MaxLiveRequestedBytes)
+    Stats.MaxLiveRequestedBytes = LiveBytes;
+  Stats.TotalAllocs += R->NumAllocs;
+  Stats.TotalRequestedBytes += R->ReqBytes;
+  Stats.BarrierStores += R->barrierStores();
+  Stats.BarrierSameRegion += R->barrierSameRegion();
+  Stats.BarrierAdjustments += R->barrierAdjustments();
+  if (R->ReqBytes > Stats.MaxRegionBytes)
+    Stats.MaxRegionBytes = R->ReqBytes;
+  ++DeadSizeClasses[detail::metricsBucket(R->ReqBytes)];
+  ++DeadLifetimes[detail::metricsBucket(NextRegionId - R->Id)];
+
+  // Every run is retained — growth runs and large-object runs alike;
+  // nothing goes back to the source and every page-map entry stays.
+  // Large runs are kept deliberately: a region-per-request steady state
+  // reallocates the same large buffer next incarnation, and allocLarge
+  // serves it from the reservoir on exact fit (odd-sized leftovers are
+  // still consumed page-wise by carvePage). Retention is bounded by the
+  // pool's page budget, not here.
+  char *Base = Source.base();
+  std::size_t PagesRetained = R->ownedPages();
+
+  // The retained runs become the re-carve reservoir: carvePage (and
+  // exact-fit allocLarge) hand their pages back out before touching the
+  // PageSource. Run 0 is the region's own page, re-consumed right here.
+  R->RunCursor = 0;
+  R->RunEnd = 0;
+  R->NextReserve = 1;
+  R->ReserveEnd = R->NumRuns;
+  if constexpr (detail::kRsanEnabled) {
+    // Poison every reservoir page wholesale: a stale pointer into the
+    // previous incarnation now reads 0xD5 (and traps under ASan) until
+    // carvePage or allocLarge legitimately reissues the page.
+    for (std::uint32_t I = 1; I != R->NumRuns; ++I) {
+      detail::PageRun Run = R->runAt(I);
+      char *RunBase = Base + std::size_t{Run.PageIdx} * kPageSize;
+      std::size_t RunBytes = std::size_t{Run.NumPages} * kPageSize;
+      RGN_ASAN_UNPOISON(RunBase, RunBytes);
+      std::memset(RunBase, detail::kRsanQuarantinePoison, RunBytes);
+      RGN_ASAN_POISON(RunBase, RunBytes);
+    }
+  }
+
+  // Re-initialize the first page around the surviving region structure
+  // (same address: every raw Region* handle stays valid). The page is
+  // deliberately left dirty — per-object zeroing covers ZeroMemory
+  // semantics, and skipping the page memset newRegion would pay on a
+  // recycled page is most of reset's speedup.
+  char *Page = Base + std::size_t{R->InlineRuns[0].PageIdx} * kPageSize;
+  auto Offset = static_cast<std::uint32_t>(
+      (reinterpret_cast<char *>(R) - Page) +
+      alignTo(sizeof(Region), kDefaultAlignment));
+  if constexpr (detail::kRsanEnabled) {
+    RGN_ASAN_UNPOISON(Page, kPageSize);
+    std::memset(Page + Offset, detail::kRsanQuarantinePoison,
+                kPageSize - Offset);
+    RGN_ASAN_POISON(Page + Offset, kPageSize - Offset);
+  }
+  *headerOf(Page) = {nullptr, Offset, PageKind::Normal, 0};
+  writeEndMarker(Page, Offset);
+
+  R->RC = 0; // proven zero when counting; restores fresh state otherwise
+  R->Normal = {Page, Offset, 0};
+  R->Str = {};
+  R->LargeHead = nullptr;
+  R->NumAllocs = 0;
+  R->ReqBytes = 0;
+  R->BarrierPacked = 0;
+  R->BarrierStoresDelta = 0;
+  R->BarrierSameRegionDelta = 0;
+  R->BarrierAdjustmentsDelta = 0;
+
+  // The logical-id bump: rstat lifetime histograms and id()-keyed
+  // consumers see a brand-new region from here on.
+  std::uint64_t OldId = R->Id;
+  R->Id = NextRegionId++;
+  ++Stats.TotalRegions;
+  ++Stats.ResetRegions;
+  rstat::traceEvent(rstat::EventKind::ResetRegion, OldId,
+                    static_cast<std::uint32_t>(PagesRetained));
   return true;
 }
 

@@ -142,11 +142,27 @@ struct RegionStats {
   std::uint64_t MaxRegionBytes = 0; ///< largest single region, requested bytes
   std::uint64_t DeleteAttempts = 0;
   std::uint64_t DeleteFailures = 0;
+  // In-place recycling (rpool; region/Pool.h). A successful reset ends
+  // one logical region and starts another in the same storage, so it
+  // bumps TotalRegions like newRegion while LiveRegions stays put.
+  std::uint64_t ResetRegions = 0;  ///< successful in-place resets
+  std::uint64_t ResetRefusals = 0; ///< resets refused on live references
   std::uint64_t CleanupThunksRun = 0;
   // Write-barrier behaviour (Figure 5 paths).
   std::uint64_t BarrierStores = 0;        ///< barriered pointer stores
   std::uint64_t BarrierSameRegion = 0;    ///< stores skipped as sameregion
   std::uint64_t BarrierAdjustments = 0;   ///< actual count increments+decrements
+};
+
+/// Counters for the rpool region-recycling layer (region/Pool.h),
+/// aggregated per manager across every RegionPool built over it and
+/// surfaced through MetricsSnapshot. Cold: bumped only on the pool's
+/// acquire/release/trim paths, never on allocation.
+struct PoolStats {
+  std::uint64_t Hits = 0;     ///< acquire() served from the cache
+  std::uint64_t Misses = 0;   ///< acquire() fell through to newRegion
+  std::uint64_t Releases = 0; ///< release() parked a reset region
+  std::uint64_t Trims = 0;    ///< regions deleted to honour the budget
 };
 
 /// Result of an rsan validation walk over one region (RGN_HARDEN
@@ -190,8 +206,20 @@ public:
   /// Programmer-requested bytes allocated in this region so far.
   std::size_t requestedBytes() const { return ReqBytes; }
 
-  /// Creation sequence number within the manager.
+  /// Creation sequence number within the manager. resetRegion() stamps
+  /// a fresh id, so a recycled region is a new logical region even
+  /// though its storage (and address) survive.
   unsigned id() const { return Id; }
+
+  /// Pages currently owned by this region across every recorded run
+  /// (growth and large-object runs alike). O(runs) — cold; feeds the
+  /// pool's retention-budget accounting and teardown tests.
+  std::size_t ownedPages() const {
+    std::size_t N = 0;
+    for (std::uint32_t I = 0; I != NumRuns; ++I)
+      N += runAt(I).NumPages;
+    return N;
+  }
 
   /// Adjusts the reference count. Internal: used by the write barrier
   /// and the shadow-stack scan; exposed for tests and advanced clients.
@@ -315,6 +343,15 @@ private:
   detail::PageRun *OverflowRuns = nullptr;
   std::uint32_t NumRuns = 0;
   std::uint32_t OverflowCap = 0;
+
+  /// The run table as one indexable sequence: inline then overflow.
+  detail::PageRun &runAt(std::uint32_t I) {
+    return I < kInlineRuns ? InlineRuns[I] : OverflowRuns[I - kInlineRuns];
+  }
+  const detail::PageRun &runAt(std::uint32_t I) const {
+    return I < kInlineRuns ? InlineRuns[I] : OverflowRuns[I - kInlineRuns];
+  }
+
   // Carve cursor into the current (newest) growth run, as absolute page
   // indices: pages [RunCursor, RunEnd) are grabbed but not yet handed
   // to a bump list. RunZeroed carries the run's PageSource zero-state
@@ -322,6 +359,14 @@ private:
   std::uint32_t RunCursor = 0;
   std::uint32_t RunEnd = 0;
   std::uint32_t RunZeroed = 0;
+  // Reserve window into the run table (rpool): runs [NextReserve,
+  // ReserveEnd) were retained by resetRegion and are re-carved before
+  // any fresh grab. ReserveEnd is frozen at reset time so runs recorded
+  // later (large objects, new growth runs) can never be mistaken for
+  // reservoir runs. Never-reset regions keep both at zero and pay one
+  // always-false compare in carvePage.
+  std::uint32_t NextReserve = 0;
+  std::uint32_t ReserveEnd = 0;
   // Deferred write-barrier stats: the packed hot word (same cache line
   // as CountRefs, the other field every barrier touches) plus the wide
   // spill targets, folded like NumAllocs/ReqBytes.
@@ -623,6 +668,29 @@ public:
     return deleteRegionImpl(R, reinterpret_cast<void **>(&R), false);
   }
 
+  /// Resets \p R to the freshly-created empty state **in place** (rpool
+  /// layer 1; see region/Pool.h for the pooling layer built on it).
+  ///
+  /// Applies exactly deleteRegion's safety protocol — pending-count
+  /// flush, stack scan, external-reference refusal, rsan validation,
+  /// cleanup thunks — but instead of returning pages to the PageSource
+  /// it keeps every page run (growth and large-object runs alike, with
+  /// their page-map entries) as a re-carve reservoir: carvePage and
+  /// exact-fit allocLarge requests drain it before touching the source.
+  /// The first page's Figure-7 end-marker state is reinstalled and
+  /// retained pages are re-poisoned under RGN_HARDEN. The region keeps
+  /// its address but becomes a new logical region: a fresh id is
+  /// stamped and the retired incarnation is folded into stats and the
+  /// rstat lifetime histograms exactly as a deletion would. Retention
+  /// is bounded by the caller, not here — RegionPool's page budget
+  /// deletes regions whose reservoir outgrows it.
+  ///
+  /// Returns false (region untouched) when counted external references
+  /// or live scanned locals remain, like deleteregion. Shared regions
+  /// must go through ParallelSpace::tryDelete instead — resetting a
+  /// region with a live SharedRegion binding is a fatal error.
+  bool resetRegion(Region *R);
+
   const SafetyConfig &config() const { return Cfg; }
 
   /// Reconfigures safety features. Only valid while no regions are
@@ -642,6 +710,10 @@ public:
   /// and the deletion bookkeeping; per-allocation counters are deferred
   /// and must not be adjusted here).
   RegionStats &statsMutable() { return Stats; }
+
+  /// Aggregated rpool counters for every RegionPool over this manager.
+  const PoolStats &poolStats() const { return PoolCounters; }
+  PoolStats &poolStatsMutable() { return PoolCounters; }
 
   /// Bytes this manager has requested from the OS (Figure 8's metric).
   std::size_t osBytes() const { return Source.osBytes(); }
@@ -723,6 +795,7 @@ private:
   /// persist watermark samples.
   mutable RegionStats Stats;
   mutable RegionStats StatsSnapshot; ///< storage for stats()'s result
+  PoolStats PoolCounters;            ///< rpool activity (region/Pool.h)
   Region *LiveHead = nullptr;
   unsigned NextRegionId = 0;
   /// rstat histograms over *deleted* regions, bumped in

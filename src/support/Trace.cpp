@@ -107,6 +107,16 @@ const char *rstat::eventName(EventKind K) {
     return "quiesce";
   case EventKind::TryDeleteHandoff:
     return "trydelete-handoff";
+  case EventKind::ResetRegion:
+    return "resetregion";
+  case EventKind::ResetRegionFail:
+    return "resetregion-refused";
+  case EventKind::PoolAcquire:
+    return "pool-acquire";
+  case EventKind::PoolRelease:
+    return "pool-release";
+  case EventKind::PoolTrim:
+    return "pool-trim";
   }
   return "?";
 }
@@ -203,6 +213,7 @@ std::size_t rstat::writeChromeTrace(std::FILE *Out) {
     std::uint64_t TimeNs;
     std::int64_t Regions;
     std::int64_t Bytes;
+    std::int64_t Pooled;
   };
   std::vector<CounterDelta> Deltas;
   for (TraceRing *Ring = Reg.Rings; Ring; Ring = Ring->Next) {
@@ -226,18 +237,32 @@ std::size_t rstat::writeChromeTrace(std::FILE *Out) {
       std::int64_t Pages = static_cast<std::int64_t>(E.B);
       switch (E.Kind) {
       case EventKind::NewRegion:
-        Deltas.push_back({E.TimeNs, +1, 0});
+        Deltas.push_back({E.TimeNs, +1, 0, 0});
         break;
       case EventKind::DeleteRegionOk:
-        Deltas.push_back({E.TimeNs, -1, 0});
+        Deltas.push_back({E.TimeNs, -1, 0, 0});
         break;
       case EventKind::RunGrab:
         Deltas.push_back(
-            {E.TimeNs, 0, Pages * static_cast<std::int64_t>(kPageSize)});
+            {E.TimeNs, 0, Pages * static_cast<std::int64_t>(kPageSize), 0});
         break;
       case EventKind::RunFree:
         Deltas.push_back(
-            {E.TimeNs, 0, -Pages * static_cast<std::int64_t>(kPageSize)});
+            {E.TimeNs, 0, -Pages * static_cast<std::int64_t>(kPageSize), 0});
+        break;
+      case EventKind::PoolAcquire:
+        // B==1 marks a pool hit: a cached region left the pool. Misses
+        // hit newRegion and are counted by its own NewRegion event.
+        if (E.B == 1)
+          Deltas.push_back({E.TimeNs, 0, 0, -1});
+        break;
+      case EventKind::PoolRelease:
+        Deltas.push_back({E.TimeNs, 0, 0, +1});
+        break;
+      case EventKind::PoolTrim:
+        // The trim's deleteRegion traces its own DeleteRegionOk and
+        // RunFree events; this delta only shrinks the pooled track.
+        Deltas.push_back({E.TimeNs, 0, 0, -1});
         break;
       default:
         break;
@@ -252,15 +277,20 @@ std::size_t rstat::writeChromeTrace(std::FILE *Out) {
                    [](const CounterDelta &A, const CounterDelta &B) {
                      return A.TimeNs < B.TimeNs;
                    });
-  std::int64_t LiveRegions = 0, LiveBytes = 0;
+  std::int64_t LiveRegions = 0, LiveBytes = 0, Pooled = 0;
   for (const CounterDelta &D : Deltas) {
     LiveRegions += D.Regions;
     LiveBytes += D.Bytes;
+    Pooled += D.Pooled;
     if (Written)
       std::fputc(',', Out);
-    const char *Name = D.Regions ? "live-regions" : "live-bytes";
-    const char *Series = D.Regions ? "regions" : "bytes";
-    std::int64_t Value = D.Regions ? LiveRegions : LiveBytes;
+    const char *Name = D.Regions  ? "live-regions"
+                       : D.Pooled ? "pooled-regions"
+                                  : "live-bytes";
+    const char *Series = D.Bytes ? "bytes" : "regions";
+    std::int64_t Value = D.Regions ? LiveRegions
+                         : D.Pooled ? Pooled
+                                    : LiveBytes;
     std::fprintf(Out,
                  "{\"name\":\"%s\",\"cat\":\"region\",\"ph\":\"C\","
                  "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"

@@ -62,9 +62,14 @@ enum class EventKind : std::uint8_t {
   ResolveStale,     ///< A = region id, B = record generation observed
   ManagerQuiesced,  ///< A = manager's live region count at quiesce
   TryDeleteHandoff, ///< A = region id, B = shard index
+  ResetRegion,      ///< A = retired logical id, B = pages retained
+  ResetRegionFail,  ///< A = region id, B = residual reference count
+  PoolAcquire,      ///< A = new/reused region id, B = 1 hit, 0 miss
+  PoolRelease,      ///< A = region id, B = pages retained in the pool
+  PoolTrim,         ///< A = region id, B = pages returned to the source
 };
 
-inline constexpr unsigned kNumEventKinds = 14;
+inline constexpr unsigned kNumEventKinds = 19;
 
 /// Stable lower-case event names (also the Chrome trace "name" field).
 const char *eventName(EventKind K);

@@ -385,6 +385,27 @@ TEST_F(ParallelTest, ManyRegionsAcrossShardsDeleteInAnyOrder) {
   EXPECT_EQ(Space.liveSharedRegions(), 0u);
 }
 
+#if !RGN_HARDEN_ENABLED
+TEST_F(ParallelTest, RecordMagazineRecyclesOnRegisteredThreads) {
+  // The TLS record magazine binds only in registerThread, whose
+  // unregisterThread contract guarantees the flush — a raw deleter
+  // thread could exit with stashed records and strand them (found by
+  // LeakSanitizer), so unregistered threads route retired records to
+  // the shard pool instead. A registered thread's share→tryDelete→
+  // share cycle must recycle the identical record thread-locally.
+  // (Hardened builds never pool records at all.)
+  RegionManager Mgr{SafetyConfig::unsafeConfig()};
+  unsigned Tid = Space.registerThread();
+  SharedRegion *First = Space.share(Mgr.newRegion());
+  ASSERT_TRUE(Space.tryDelete(First));
+  SharedRegion *Second = Space.share(Mgr.newRegion());
+  EXPECT_EQ(Second, First)
+      << "registered thread must recycle its magazine-stashed record";
+  ASSERT_TRUE(Space.tryDelete(Second));
+  Space.unregisterThread(Tid);
+}
+#endif
+
 TEST_F(ParallelTest, DoubleUnregisterDies) {
   // Releasing a slot twice would let two live threads share one index
   // (their adjustments would merge); the debug check must catch it.

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "region/Debug.h"
 #include "region/Regions.h"
 #include "support/Prng.h"
 
@@ -225,6 +226,85 @@ TEST_P(RegionPropertyTest, RandomScopeNestingBalances) {
   EXPECT_EQ(R->referenceCount(), 0)
       << "scan/unscan/localWrite must balance exactly";
   EXPECT_TRUE(Mgr.deleteRegionRaw(R));
+}
+
+TEST_P(RegionPropertyTest, ResetMatchesDeletePlusNewObservably) {
+  // rpool parity: a region recycled in place with resetRegion must be
+  // observationally identical to one deleted and recreated — same
+  // stats totals, walkable Figure-7 pages, clean hardened metadata,
+  // and the same refusal protocol while counted references pend. Two
+  // managers run the same random workload, one per strategy.
+  RegionManager MgrA{SafetyConfig::safeConfig(), std::size_t{128} << 20};
+  RegionManager MgrB{SafetyConfig::safeConfig(), std::size_t{128} << 20};
+  Prng Rng(GetParam() * 131 + 17);
+  Region *A = MgrA.newRegion(); // recycled in place every round
+  Region *B = MgrB.newRegion(); // deleted and recreated every round
+
+  for (int Round = 0; Round != 25; ++Round) {
+    // One random workload, applied identically to both regions: raw
+    // blobs across every size class (bump pages and large-object runs)
+    // plus scanned nodes with sameregion links for the cleanup walk.
+    for (unsigned I = 1 + Rng.nextBelow(20); I != 0; --I) {
+      std::size_t Size = std::size_t{16} << Rng.nextBelow(11); // ≤ 16 KB
+      MgrA.allocRaw(A, Size);
+      MgrB.allocRaw(B, Size);
+    }
+    for (unsigned I = Rng.nextBelow(8); I != 0; --I) {
+      Node *NA = rnew<Node>(A);
+      Node *NB = rnew<Node>(B);
+      NA->Out = NA; // sameregion: walked at cleanup, never counted
+      NB->Out = NB;
+    }
+    ASSERT_EQ(A->allocCount(), B->allocCount());
+    ASSERT_EQ(A->requestedBytes(), B->requestedBytes());
+
+    if (Rng.nextBool(0.4)) {
+      // Pending external references refuse a reset exactly as they
+      // refuse a deletion; both leave the region untouched.
+      A->rcAdd(1);
+      B->rcAdd(1);
+      EXPECT_FALSE(MgrA.resetRegion(A));
+      Region *Handle = B;
+      EXPECT_FALSE(MgrB.deleteRegionRaw(Handle));
+      EXPECT_EQ(Handle, B) << "refusal leaves the handle intact";
+      EXPECT_GT(A->allocCount(), 0u) << "refused reset changes nothing";
+      A->rcAdd(-1);
+      B->rcAdd(-1);
+    }
+
+    RsanReport Before = rsanCheckRegion(A);
+    if (Before.Checked)
+      EXPECT_TRUE(Before.clean()) << "round " << Round << " pre-reset";
+
+    ASSERT_TRUE(MgrA.resetRegion(A));
+    ASSERT_TRUE(MgrB.deleteRegionRaw(B));
+    B = MgrB.newRegion();
+
+    // The recycled region reads as freshly created: empty, clean
+    // metadata, and a terminating Figure-7 walk over the reset page.
+    RsanReport After = rsanCheckRegion(A);
+    if (After.Checked)
+      EXPECT_TRUE(After.clean()) << "round " << Round << " post-reset";
+    EXPECT_EQ(A->allocCount(), 0u);
+    EXPECT_EQ(A->requestedBytes(), 0u);
+    EXPECT_EQ(A->referenceCount(), 0);
+
+    // Observable manager totals stay in lockstep across strategies.
+    const RegionStats SA = MgrA.stats();
+    const RegionStats SB = MgrB.stats();
+    ASSERT_EQ(SA.TotalRegions, SB.TotalRegions);
+    ASSERT_EQ(SA.LiveRegions, SB.LiveRegions);
+    ASSERT_EQ(SA.TotalAllocs, SB.TotalAllocs);
+    ASSERT_EQ(SA.TotalRequestedBytes, SB.TotalRequestedBytes);
+    ASSERT_EQ(SA.MaxRegionBytes, SB.MaxRegionBytes);
+    ASSERT_EQ(SA.BarrierStores, SB.BarrierStores);
+    ASSERT_EQ(SA.ResetRefusals, SB.DeleteFailures)
+        << "each strategy's refusals tick its own counter in lockstep";
+  }
+  // Final deletion proves the recycled region's pages walk to their
+  // end markers one last time (the cleanup scan traverses them all).
+  EXPECT_TRUE(MgrA.deleteRegionRaw(A));
+  EXPECT_TRUE(MgrB.deleteRegionRaw(B));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "region/Parallel.h"
+#include "region/Pool.h"
 #include "region/Regions.h"
 #include "support/Trace.h"
 
@@ -462,6 +463,47 @@ TEST(ThreadStressTest, QuiescedManagersRetiredByRacingWorkers) {
 //===----------------------------------------------------------------------===//
 // Armed tracing under churn
 //===----------------------------------------------------------------------===//
+
+TEST(ThreadStressTest, ConcurrentPoolChurnStaysExact) {
+  // rpool's intended deployment: one RegionPool per worker thread over
+  // that worker's own manager, churning region-per-request cycles
+  // while tracing is armed (the pool's trace events ride the same TLS
+  // ring machinery as everything else). TSan must see no races between
+  // the workers, the trace registry, or the pool counters; after the
+  // joins every per-manager count must be exact.
+  rstat::armTracing(1 << 10);
+  constexpr int kThreads = 6;
+  constexpr int kRequests = 300;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&Failures] {
+      RegionManager Mgr{SafetyConfig::safeConfig(), std::size_t{64} << 20};
+      RegionPool Pool{Mgr};
+      for (int I = 0; I != kRequests; ++I) {
+        Region *R = Pool.acquire();
+        Mgr.allocRaw(R, 64);
+        Mgr.allocRaw(R, 2048);
+        if (I % 8 == 0)
+          Mgr.allocRaw(R, 3 * kPageSize); // large run: retained too
+        if (!Pool.release(R))
+          Failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      const PoolStats &P = Mgr.poolStats();
+      // Cold miss on the first acquire, hits ever after; every release
+      // parked (the default budget dwarfs this footprint).
+      if (P.Misses != 1 || P.Hits != std::uint64_t{kRequests} - 1 ||
+          P.Releases != std::uint64_t{kRequests})
+        Failures.fetch_add(1, std::memory_order_relaxed);
+      if (Mgr.stats().ResetRegions != std::uint64_t{kRequests})
+        Failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_GT(rstat::tracedEventCount(), 0u);
+  rstat::disarmTracing();
+}
 
 TEST(ThreadStressTest, ArmedTracingSurvivesThreadChurn) {
   // Threads attach (via manager construction), record region events,
